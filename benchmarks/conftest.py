@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration."""
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,144 @@
+"""Figs. 7a-7c — the effect of transaction size (Experiment 1).
+
+Sweeps the payload target over SIZE_SWEEP on fixed 4-node clusters and
+regenerates all three panels:
+
+* 7a — latency of REQUEST and CREATE (both systems);
+* 7b — latency of BID and ACCEPT_BID (both systems);
+* 7c — throughput.
+
+Shape criteria (paper Section 5.2.1): SCDB flat in size on every panel;
+ETH-SC CREATE grows several-fold, REQUEST about two-fold; ETH-SC BID is
+the slowest-growing-to-worst type with a large ratio over SCDB (635x at
+the paper's 110k-transaction scale — see the O(n)-scan extrapolation
+printed below and recorded in EXPERIMENTS.md); ETH-SC throughput decays
+while SCDB stays level.
+"""
+
+from __future__ import annotations
+
+import pytest
+from _harness import SIZE_SWEEP, fig7_spec, write_report
+
+from repro.metrics.report import format_table, ratio
+from repro.workloads import run_eth_scenario, run_scdb_scenario
+
+OPERATIONS = ("CREATE", "REQUEST", "BID", "ACCEPT_BID")
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    results = []
+    for payload in SIZE_SWEEP:
+        spec = fig7_spec(payload)
+        scdb = run_scdb_scenario(spec)
+        eth = run_eth_scenario(spec)
+        results.append((payload, scdb.metrics, eth.metrics))
+    return results
+
+
+def _series_table(title, sweep, operations):
+    rows = []
+    for payload, scdb, eth in sweep:
+        for operation in operations:
+            rows.append(
+                [
+                    payload,
+                    operation,
+                    scdb.latency(operation),
+                    eth.latency(operation),
+                    ratio(eth.latency(operation), scdb.latency(operation)),
+                ]
+            )
+    return format_table(
+        ["size_B", "type", "SCDB_lat_s", "ETH-SC_lat_s", "ratio"], rows, title=title
+    )
+
+
+def test_fig7a_latency_request_create(benchmark, sweep):
+    table = benchmark.pedantic(
+        lambda: _series_table("Fig. 7a — latency of REQUEST and CREATE", sweep, ("REQUEST", "CREATE")),
+        rounds=1, iterations=1,
+    )
+    print("\n" + table)
+    write_report("fig7a_latency_request_create", table)
+
+    first, last = sweep[0], sweep[-1]
+    # SCDB is flat in size (within 25%).
+    for operation in ("REQUEST", "CREATE"):
+        assert last[1].latency(operation) < first[1].latency(operation) * 1.25
+    # ETH-SC grows: CREATE several-fold, REQUEST at least ~2x.
+    assert last[2].latency("CREATE") > first[2].latency("CREATE") * 2.5
+    assert last[2].latency("REQUEST") > first[2].latency("REQUEST") * 1.8
+    # ETH-SC sits far above SCDB throughout.
+    assert first[2].latency("CREATE") > first[1].latency("CREATE") * 4
+
+
+def test_fig7b_latency_bid_accept(benchmark, sweep):
+    table = benchmark.pedantic(
+        lambda: _series_table("Fig. 7b — latency of BID and ACCEPT_BID", sweep, ("BID", "ACCEPT_BID")),
+        rounds=1, iterations=1,
+    )
+    print("\n" + table)
+
+    first, last = sweep[0], sweep[-1]
+    # SCDB flat; ETH-SC BID grows with size and dominates SCDB heavily.
+    assert last[1].latency("BID") < first[1].latency("BID") * 1.25
+    assert last[2].latency("BID") > first[2].latency("BID") * 1.15
+    bid_ratio = ratio(last[2].latency("BID"), last[1].latency("BID"))
+    assert bid_ratio > 15
+    # ACCEPT_BID stable in both systems, ETH-SC > 4x SCDB (paper).
+    assert last[2].latency("ACCEPT_BID") > last[1].latency("ACCEPT_BID") * 4
+    assert last[2].latency("ACCEPT_BID") < first[2].latency("ACCEPT_BID") * 1.5
+
+    # The paper's 635x arises at 110k-transaction scale, where the
+    # contract's O(n) registry scans run over ~50k assets/bids.  Measure
+    # our per-entry scan cost and extrapolate to that operating point.
+    from repro.ethereum.auction import estimate_gas
+    from repro.ethereum.gas import execution_seconds
+
+    small = estimate_gas("create_bid", [1, 1], {"assets": 100, "requests": 10, "bids": 100})
+    large = estimate_gas("create_bid", [1, 1], {"assets": 200, "requests": 10, "bids": 200})
+    per_entry_gas = (large - small) / 200
+    paper_scale_gas = per_entry_gas * (50_000 + 50_000)
+    extrapolated_latency = execution_seconds(paper_scale_gas)
+    extrapolation = format_table(
+        ["quantity", "value"],
+        [
+            ["per-registry-entry scan gas", per_entry_gas],
+            ["extrapolated BID gas at paper scale (100k entries)", paper_scale_gas],
+            ["extrapolated BID execution latency (s)", extrapolated_latency],
+            ["paper-reported BID latency at 1.74 KB (s)", 66.43],
+            ["measured BID ratio at our scale", bid_ratio],
+            ["paper-reported ratio at full scale", 635.0],
+        ],
+        title="Fig. 7b scale extrapolation — O(n) registry scans at 110k txs",
+    )
+    print("\n" + extrapolation)
+    write_report("fig7b_latency_bid_accept", table + "\n\n" + extrapolation)
+    # The mechanism extrapolates to the paper's order of magnitude.
+    assert 20 <= extrapolated_latency <= 300
+
+
+def test_fig7c_throughput(benchmark, sweep):
+    def build():
+        rows = [
+            [payload, scdb.throughput_tps, eth.throughput_tps]
+            for payload, scdb, eth in sweep
+        ]
+        return format_table(
+            ["size_B", "SCDB_tps", "ETH-SC_tps"], rows, title="Fig. 7c — throughput"
+        )
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    print("\n" + table)
+    write_report("fig7c_throughput", table)
+
+    first, last = sweep[0], sweep[-1]
+    # SCDB throughput flat in size.
+    assert last[1].throughput_tps > first[1].throughput_tps * 0.85
+    # ETH-SC decays with size (paper: 0.72 -> 0.02 tps over their sweep).
+    assert last[2].throughput_tps < first[2].throughput_tps * 0.5
+    # SCDB wins by a wide margin at every size.
+    for _, scdb, eth in sweep:
+        assert scdb.throughput_tps > eth.throughput_tps * 20

@@ -1,0 +1,110 @@
+"""Nested-transaction crash handling (Section 4.2.1).
+
+Regenerates the paper's crash analysis as a measurable experiment: an
+ACCEPT_BID commits non-locking, its receiver node crashes before the
+RETURN children drain, and the recovery log restores eventual commit
+after the node rejoins.  Reports time-to-full-commit with and without
+the crash.
+"""
+
+from __future__ import annotations
+
+from _harness import write_report
+
+from repro.consensus.tendermint import tendermint_config
+from repro.core.cluster import ClusterConfig, SmartchainCluster
+from repro.crypto.keys import keypair_from_string
+from repro.metrics.report import format_table
+
+ALICE = keypair_from_string("alice")
+BOB = keypair_from_string("bob")
+CAROL = keypair_from_string("carol")
+SALLY = keypair_from_string("sally")
+
+
+def _run_auction(crash_receiver: bool) -> dict:
+    cluster = SmartchainCluster(
+        ClusterConfig(
+            n_validators=4,
+            seed=13,
+            consensus=tendermint_config(max_block_txs=8, propose_timeout=0.5),
+            worker_poll_interval=0.3 if crash_receiver else 0.002,
+        )
+    )
+    driver = cluster.driver
+    bidders = [ALICE, BOB, CAROL]
+    creates = []
+    for index, keypair in enumerate(bidders):
+        create = driver.prepare_create(keypair, {"capabilities": ["cap"], "n": index})
+        cluster.submit_payload(create.to_dict())
+        creates.append((keypair, create))
+    cluster.run()
+    request = driver.prepare_request(SALLY, ["cap"])
+    cluster.submit_and_settle(request)
+    bids = []
+    for keypair, create in creates:
+        bid = driver.prepare_bid(keypair, request.tx_id, create.tx_id, [(create.tx_id, 0, 1)])
+        cluster.submit_payload(bid.to_dict())
+        bids.append(bid)
+    cluster.run()
+
+    accept = driver.prepare_accept_bid(SALLY, request.tx_id, bids[0])
+    accept_submit_time = cluster.loop.clock.now
+    cluster.submit_payload(accept.to_dict())
+
+    crashed = False
+    if crash_receiver:
+        cluster.loop.run(until=cluster.loop.clock.now + 0.28)
+        receiver = cluster._accept_receivers.get(accept.tx_id)
+        parent_committed = cluster.records[accept.tx_id].committed_at is not None
+        if receiver is not None and parent_committed:
+            cluster.failures.crash_now(receiver)
+            crashed = True
+            cluster.run(duration=3.0)
+            cluster.failures.recover_now(receiver)
+    cluster.run(duration=60.0)
+    cluster.run()
+
+    server = cluster.any_server()
+    record = cluster.records[accept.tx_id]
+    fully = server.nested.recovery.is_fully_committed(accept.tx_id)
+    returns = server.database.collection("transactions").count({"operation": "RETURN"})
+    last_commit = max(
+        (r.committed_at for r in cluster.records.values() if r.committed_at), default=0.0
+    )
+    return {
+        "crashed": crashed,
+        "parent_latency": record.latency or float("inf"),
+        "time_to_full_commit": last_commit - accept_submit_time,
+        "returns_committed": returns,
+        "fully_committed": fully,
+    }
+
+
+def test_nested_recovery_under_receiver_crash(benchmark):
+    baseline = _run_auction(crash_receiver=False)
+    crashed = benchmark.pedantic(
+        lambda: _run_auction(crash_receiver=True), rounds=1, iterations=1
+    )
+
+    table = format_table(
+        ["scenario", "parent_lat_s", "full_commit_s", "returns", "eventual_commit"],
+        [
+            ["no failure", baseline["parent_latency"], baseline["time_to_full_commit"],
+             baseline["returns_committed"], baseline["fully_committed"]],
+            ["receiver crash + recovery", crashed["parent_latency"],
+             crashed["time_to_full_commit"], crashed["returns_committed"],
+             crashed["fully_committed"]],
+        ],
+        title="Non-locking nested transactions under failure (Section 4.2.1)",
+    )
+    print("\n" + table)
+    write_report("nested_recovery", table)
+
+    # Both scenarios end fully committed (Definition 2's eventual commit).
+    assert baseline["fully_committed"]
+    assert crashed["fully_committed"]
+    assert baseline["returns_committed"] == 2
+    assert crashed["returns_committed"] == 2
+    # Non-locking: the parent's own latency is unaffected by child fate.
+    assert crashed["parent_latency"] < 5.0

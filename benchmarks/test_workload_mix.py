@@ -1,0 +1,68 @@
+"""Workload mix (Section 5.1.3) — the 110k-transaction composition.
+
+Paper: "We have sent 110,000 transactions to each system comprising of
+CREATE: 50,000, BID: 50,000, REQUEST: 5000, ACCEPT_BID: 5000."  We
+verify the generator reproduces the mix at scale and run a 1/200-scale
+end-to-end mixed workload through the declarative system.
+"""
+
+from __future__ import annotations
+
+from _harness import write_report
+
+from repro.metrics.report import format_table
+from repro.workloads import WorkloadGenerator, WorkloadSpec
+from repro.workloads.generator import PAPER_MIX
+from repro.workloads.scenarios import ScenarioSpec, run_scdb_scenario
+
+
+def test_workload_mix_generation(benchmark):
+    generator = WorkloadGenerator(WorkloadSpec(total=1_100))
+    counts = benchmark.pedantic(generator.counts, rounds=1, iterations=1)
+
+    rows = [
+        [operation, PAPER_MIX[operation], counts.get(operation, 0)]
+        for operation in ("CREATE", "BID", "REQUEST", "ACCEPT_BID")
+    ]
+    table = format_table(
+        ["type", "paper count", "generated (1/100 scale)"],
+        rows,
+        title="Workload mix — Section 5.1.3",
+    )
+    print("\n" + table)
+    write_report("workload_mix", table)
+
+    # Proportions match the paper's mix exactly at 1/100 scale.
+    assert counts["REQUEST"] == 50
+    assert counts["ACCEPT_BID"] == 50
+    assert abs(counts["CREATE"] - 500) <= 50
+    assert abs(counts["BID"] - 500) <= 50
+
+
+def test_mixed_workload_end_to_end(benchmark):
+    """A scaled paper-mix run must fully commit on the declarative side."""
+
+    def run():
+        # 10 requests x (5 creates + 5 bids) + accepts ~ paper ratios.
+        spec = ScenarioSpec(
+            n_windows=10, creates_per_window=5, bids_per_window=5,
+            payload_bytes=1_115, phased=True,
+        )
+        return run_scdb_scenario(spec)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    metrics = result.metrics
+    table = format_table(
+        ["metric", "value"],
+        [
+            ["submitted", metrics.submitted],
+            ["committed", metrics.committed],
+            ["throughput (tps)", metrics.throughput_tps],
+        ],
+        title="Mixed workload end-to-end (1/200 scale)",
+    )
+    print("\n" + table)
+    write_report("workload_mix_e2e", table)
+
+    assert metrics.committed == metrics.submitted
+    assert metrics.throughput_tps > 20

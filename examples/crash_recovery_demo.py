@@ -1,0 +1,83 @@
+"""Non-locking nested transactions surviving a receiver crash.
+
+Run:  python examples/crash_recovery_demo.py
+
+Reproduces Section 4.2.1's crash case (2.b): the node that received the
+ACCEPT_BID commits the parent, then crashes before its workers finish
+sending the RETURN children.  The durable ``accept_tx_recovery`` log
+re-enqueues the pending RETURNs when the node rejoins — eventual commit
+(Definition 2) holds despite the failure.
+"""
+
+from repro.consensus.tendermint import tendermint_config
+from repro.core import ClusterConfig, SmartchainCluster
+from repro.crypto import keypair_from_string
+
+
+def main() -> None:
+    cluster = SmartchainCluster(
+        ClusterConfig(
+            n_validators=4,
+            seed=13,
+            consensus=tendermint_config(max_block_txs=8, propose_timeout=0.5),
+            worker_poll_interval=0.3,  # slow workers so the crash wins
+        )
+    )
+    driver = cluster.driver
+    sally = keypair_from_string("sally")
+    bidders = [keypair_from_string(f"supplier-{index}") for index in range(3)]
+
+    creates = []
+    for keypair in bidders:
+        create = driver.prepare_create(keypair, {"capabilities": ["cap"]})
+        cluster.submit_payload(create.to_dict())
+        creates.append(create)
+    cluster.run()
+    request = driver.prepare_request(sally, ["cap"])
+    cluster.submit_and_settle(request)
+    bids = []
+    for keypair, create in zip(bidders, creates):
+        bid = driver.prepare_bid(keypair, request.tx_id, create.tx_id, [(create.tx_id, 0, 1)])
+        cluster.submit_payload(bid.to_dict())
+        bids.append(bid)
+    cluster.run()
+    print(f"auction ready: 3 bids escrowed on request {request.tx_id[:12]}...")
+
+    accept = driver.prepare_accept_bid(sally, request.tx_id, bids[0])
+    cluster.submit_payload(accept.to_dict())
+    cluster.loop.run(until=cluster.loop.clock.now + 0.28)
+
+    receiver = cluster._accept_receivers.get(accept.tx_id)
+    committed = cluster.records[accept.tx_id].committed_at is not None
+    print(f"parent ACCEPT_BID committed: {committed} (receiver node {receiver})")
+
+    server = cluster.servers[receiver]
+    print(f"RETURN queue on receiver before crash: {len(server.nested.queue)} job(s)")
+    print(f"recovery log status: {server.nested.recovery.status(accept.tx_id)['status']}")
+
+    print(f"\n!! crashing receiver node {receiver} before RETURNs drain")
+    cluster.failures.crash_now(receiver)
+    cluster.run(duration=3.0)
+
+    live = cluster.any_server()
+    returns_during_outage = live.database.collection("transactions").count(
+        {"operation": "RETURN"}
+    )
+    print(f"RETURNs committed while receiver is down: {returns_during_outage}")
+
+    print(f"\n>> recovering node {receiver}; recovery log re-enqueues RETURNs")
+    cluster.failures.recover_now(receiver)
+    cluster.run(duration=60.0)
+    cluster.run()
+
+    returns = live.database.collection("transactions").count({"operation": "RETURN"})
+    fully = live.nested.recovery.is_fully_committed(accept.tx_id)
+    print(f"RETURNs committed after recovery: {returns} (expected 2)")
+    print(f"eventual commit (Definition 2) holds: {fully}")
+    for index, keypair in enumerate(bidders[1:], start=1):
+        holdings = live.outputs_for(keypair.public_key)
+        print(f"  losing supplier-{index} got asset back: {bool(holdings)}")
+
+
+if __name__ == "__main__":
+    main()

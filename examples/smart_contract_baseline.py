@@ -1,0 +1,80 @@
+"""Side-by-side: the same auction on the Ethereum smart-contract baseline.
+
+Run:  python examples/smart_contract_baseline.py
+
+Deploys the 175-line-equivalent Solidity marketplace on a 4-node Quorum
+(IBFT) network, runs one auction, and prints the gas bill alongside the
+declarative system's timings for the identical business flow — a small
+interactive version of the paper's evaluation.
+"""
+
+from repro.core import ClusterConfig, SmartchainCluster
+from repro.crypto import keypair_from_string
+from repro.ethereum import QuorumChain, QuorumChainConfig, Web3Client
+
+
+def run_contract_side() -> dict:
+    buyer, sup1, sup2 = "0xbuyer", "0xsupplier1", "0xsupplier2"
+    chain = QuorumChain(QuorumChainConfig(n_validators=4), accounts=[buyer, sup1, sup2])
+    client = Web3Client(chain)
+
+    deploy = client.deploy("ReverseAuctionMarketplace", "market", buyer)
+    a1 = client.transact("market", "create_asset", [["3d-print", "iso"], "printer A"], sup1)
+    a2 = client.transact("market", "create_asset", [["3d-print", "iso"], "printer B"], sup2)
+    rfq = client.transact("market", "create_rfq", [["3d-print"], "500 brackets"], buyer)
+    b1 = client.transact("market", "create_bid", [1, 1], sup1, value=1_000)
+    b2 = client.transact("market", "create_bid", [1, 2], sup2, value=900)
+    acc = client.transact("market", "accept_bid", [1, 2], buyer)
+
+    print("ETH-SC gas bill (and committed latency):")
+    for label, record in [
+        ("deploy contract", deploy), ("createAsset x1", a1), ("createAsset x2", a2),
+        ("createrfq", rfq), ("createbid x1", b1), ("createbid x2", b2),
+        ("acceptBid", acc),
+    ]:
+        print(f"  {label:<16} gas={record.gas_used:>9,}  latency={record.latency:.3f}s")
+    print(f"  losing deposit refunded: {client.balance(sup1) == 10**21}")
+    total_gas = sum(r.gas_used for r in (deploy, a1, a2, rfq, b1, b2, acc))
+    total_latency = sum(r.latency for r in (a1, a2, rfq, b1, b2, acc))
+    return {"gas": total_gas, "latency": total_latency}
+
+
+def run_declarative_side() -> dict:
+    cluster = SmartchainCluster(ClusterConfig(n_validators=4))
+    driver = cluster.driver
+    sally = keypair_from_string("sally")
+    sup1 = keypair_from_string("sup1")
+    sup2 = keypair_from_string("sup2")
+
+    records = []
+    a1 = driver.prepare_create(sup1, {"capabilities": ["3d-print", "iso"]})
+    a2 = driver.prepare_create(sup2, {"capabilities": ["3d-print", "iso"]})
+    records.append(cluster.submit_and_settle(a1))
+    records.append(cluster.submit_and_settle(a2))
+    rfq = driver.prepare_request(sally, ["3d-print"])
+    records.append(cluster.submit_and_settle(rfq))
+    b1 = driver.prepare_bid(sup1, rfq.tx_id, a1.tx_id, [(a1.tx_id, 0, 1)])
+    b2 = driver.prepare_bid(sup2, rfq.tx_id, a2.tx_id, [(a2.tx_id, 0, 1)])
+    records.append(cluster.submit_and_settle(b1))
+    records.append(cluster.submit_and_settle(b2))
+    acc = driver.prepare_accept_bid(sally, rfq.tx_id, b2)
+    records.append(cluster.submit_and_settle(acc))
+
+    print("\nSCDB latencies for the identical flow (no gas, no contract):")
+    for record in records:
+        print(f"  {record.operation:<11} latency={record.latency:.3f}s")
+    return {"latency": sum(record.latency for record in records)}
+
+
+def main() -> None:
+    eth = run_contract_side()
+    scdb = run_declarative_side()
+    print("\n== summary ==")
+    print(f"ETH-SC : {eth['gas']:,} total gas, {eth['latency']:.2f}s summed latency")
+    print(f"SCDB   : 0 gas, {scdb['latency']:.2f}s summed latency "
+          f"({eth['latency'] / scdb['latency']:.0f}x faster)")
+    print("user code needed — Solidity: ~175 lines; SmartchainDB: 0 lines")
+
+
+if __name__ == "__main__":
+    main()

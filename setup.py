@@ -1,0 +1,5 @@
+"""Legacy setup shim: the build environment has no `wheel`, so editable
+installs must go through `setup.py develop` (pip --no-use-pep517)."""
+from setuptools import setup
+
+setup()

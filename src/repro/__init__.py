@@ -1,0 +1,52 @@
+"""SmartchainDB reproduction: declarative blockchain transactions.
+
+Reproduction of "Taming the Beast of User-Programmed Transactions on
+Blockchains: A Declarative Transaction Approach" (EDBT 2025).
+
+Public API highlights:
+
+* :class:`repro.core.SmartchainCluster` — a full declarative-transaction
+  deployment (servers + Tendermint + storage) on a simulated network.
+* :class:`repro.core.Driver` — prepare/sign/submit per-type templates.
+* :class:`repro.ethereum.QuorumChain` / :class:`repro.ethereum.Web3Client`
+  — the Ethereum smart-contract baseline.
+* :mod:`repro.workloads` — the paper's synthetic workload and the
+  scenario runners behind every figure.
+"""
+
+from repro.analytics import FraudAnalyzer, MarketplaceAnalytics
+from repro.core import (
+    ClusterConfig,
+    Driver,
+    SmartchainCluster,
+    SmartchainServer,
+    Transaction,
+    TransactionValidator,
+)
+from repro.crypto import KeyPair, ReservedAccounts, generate_keypair, keypair_from_string
+from repro.ethereum import QuorumChain, QuorumChainConfig, Web3Client
+from repro.workloads import ScenarioSpec, run_eth_scenario, run_scdb_scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "Driver",
+    "FraudAnalyzer",
+    "MarketplaceAnalytics",
+    "KeyPair",
+    "QuorumChain",
+    "QuorumChainConfig",
+    "ReservedAccounts",
+    "ScenarioSpec",
+    "SmartchainCluster",
+    "SmartchainServer",
+    "Transaction",
+    "TransactionValidator",
+    "Web3Client",
+    "__version__",
+    "generate_keypair",
+    "keypair_from_string",
+    "run_eth_scenario",
+    "run_scdb_scenario",
+]

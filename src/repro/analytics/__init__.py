@@ -1,0 +1,16 @@
+"""Marketplace analytics and fraud screening over committed state."""
+
+from repro.analytics.fraud import Finding, FraudAnalyzer
+from repro.analytics.queries import (
+    MarketplaceAnalytics,
+    ProvenanceStep,
+    RequestSummary,
+)
+
+__all__ = [
+    "Finding",
+    "FraudAnalyzer",
+    "MarketplaceAnalytics",
+    "ProvenanceStep",
+    "RequestSummary",
+]

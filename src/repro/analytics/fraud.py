@@ -1,0 +1,171 @@
+"""Fraud heuristics over the transaction graph.
+
+The paper motivates on-chain queryability with "tasks like fraud
+analysis" (Section 2.1).  These detectors run as plain queries over the
+committed collections — no event scraping, no contract instrumentation.
+
+Each detector returns :class:`Finding` records; none of them mutates
+state.  They are heuristics: a finding is a lead for an analyst, not a
+verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.core.server import SmartchainServer
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One suspicious pattern."""
+
+    kind: str
+    subject: str
+    detail: str
+    transactions: tuple[str, ...] = ()
+
+
+class FraudAnalyzer:
+    """Query-driven fraud screening for the marketplace."""
+
+    def __init__(self, server: SmartchainServer):
+        self._server = server
+        self._transactions = server.database.collection("transactions")
+
+    def self_dealing(self) -> list[Finding]:
+        """Requesters accepting bids backed by assets they once owned.
+
+        A buyer who routes their own asset through a shill supplier and
+        then "wins" it back distorts price discovery.
+        """
+        findings = []
+        for accept in self._transactions.find({"operation": "ACCEPT_BID"}):
+            metadata = accept.get("metadata") or {}
+            win_bid = self._transactions.find_one({"id": metadata.get("win_bid_id", "")})
+            if win_bid is None:
+                continue
+            requester = (accept.get("inputs") or [{}])[0].get("owners_before", [None])[0]
+            asset_id = (win_bid.get("asset") or {}).get("id")
+            if not asset_id or requester is None:
+                continue
+            create = self._transactions.find_one({"id": asset_id})
+            if create is None:
+                continue
+            minter = (create.get("inputs") or [{}])[0].get("owners_before", [None])[0]
+            if minter == requester:
+                findings.append(
+                    Finding(
+                        kind="self-dealing",
+                        subject=requester or "?",
+                        detail="requester accepted a bid backed by an asset they minted",
+                        transactions=(accept["id"], win_bid["id"], asset_id),
+                    )
+                )
+        return findings
+
+    def bid_withdraw_churn(self, threshold: int = 3) -> list[Finding]:
+        """Suppliers whose bids repeatedly end in RETURNs without a win.
+
+        Persistent losing bids at scale can be deliberate price probing
+        or denial-of-auction behaviour.
+        """
+        losses: dict[str, list[str]] = {}
+        wins: set[str] = set()
+        for accept in self._transactions.find({"operation": "ACCEPT_BID"}):
+            metadata = accept.get("metadata") or {}
+            win_bid = self._transactions.find_one({"id": metadata.get("win_bid_id", "")})
+            if win_bid is not None:
+                winner = (win_bid.get("inputs") or [{}])[0].get("owners_before", [None])[0]
+                if winner:
+                    wins.add(winner)
+        for returned in self._transactions.find({"operation": "RETURN"}):
+            recipient = (returned.get("outputs") or [{}])[0].get("public_keys", [None])[0]
+            if recipient:
+                losses.setdefault(recipient, []).append(returned["id"])
+        findings = []
+        for supplier, return_ids in losses.items():
+            if len(return_ids) >= threshold and supplier not in wins:
+                findings.append(
+                    Finding(
+                        kind="bid-churn",
+                        subject=supplier,
+                        detail=f"{len(return_ids)} losing bids and no wins",
+                        transactions=tuple(return_ids),
+                    )
+                )
+        return findings
+
+    def rapid_flips(self, max_hops: int = 3) -> list[Finding]:
+        """Assets cycling back to a previous owner within few transfers.
+
+        Ownership loops (A -> B -> A) are classic wash-trading structure.
+        """
+        findings = []
+        for create in self._transactions.find({"operation": "CREATE"}):
+            chain: list[str] = []
+            current = create
+            for _ in range(max_hops + 1):
+                outputs = current.get("outputs") or []
+                holder = outputs[0].get("public_keys", [None])[0] if outputs else None
+                if holder:
+                    chain.append(holder)
+                spender = self._transactions.find_one(
+                    {"inputs.fulfills.transaction_id": current["id"],
+                     "operation": "TRANSFER"}
+                )
+                if spender is None:
+                    break
+                current = spender
+            seen: dict[str, int] = {}
+            for position, holder in enumerate(chain):
+                if holder in seen and position - seen[holder] <= max_hops and position > seen[holder]:
+                    findings.append(
+                        Finding(
+                            kind="ownership-loop",
+                            subject=holder,
+                            detail=f"asset returned to a prior owner within "
+                                   f"{position - seen[holder]} hop(s)",
+                            transactions=(create["id"],),
+                        )
+                    )
+                    break
+                seen[holder] = position
+        return findings
+
+    def capability_overclaim(self) -> list[Finding]:
+        """Assets whose capability list far exceeds the market norm.
+
+        Outlier capability counts are a signal of padded certifications
+        (gaming CBID.7 subset checks).
+        """
+        counts = []
+        assets = self._transactions.find({"operation": "CREATE"})
+        for create in assets:
+            data = (create.get("asset") or {}).get("data") or {}
+            capabilities = data.get("capabilities") or []
+            counts.append((create["id"], len(capabilities)))
+        if len(counts) < 4:
+            return []
+        sizes = sorted(size for _, size in counts)
+        median = sizes[len(sizes) // 2]
+        findings = []
+        for tx_id, size in counts:
+            if median > 0 and size >= max(4, 3 * median):
+                findings.append(
+                    Finding(
+                        kind="capability-overclaim",
+                        subject=tx_id,
+                        detail=f"declares {size} capabilities vs market median {median}",
+                        transactions=(tx_id,),
+                    )
+                )
+        return findings
+
+    def screen(self) -> list[Finding]:
+        """Run every detector."""
+        findings: list[Finding] = []
+        findings.extend(self.self_dealing())
+        findings.extend(self.bid_withdraw_churn())
+        findings.extend(self.rapid_flips())
+        findings.extend(self.capability_overclaim())
+        return findings

@@ -1,0 +1,152 @@
+"""Marketplace analytics over the replicated document store.
+
+Section 2.1's queryability argument: with smart contracts, "metadata for
+requests, bids, and their underlying assets" hide inside program
+structures, so "a query like finding open service requests for 3-D
+printing manufacturing capabilities ... cannot be supported easily.
+Even more complex queries are critical for supporting tasks like fraud
+analysis or other business decision-making tasks."
+
+With the declarative model all of that is plain data in indexed
+collections.  This module answers those queries directly against a
+node's :class:`~repro.core.server.SmartchainServer` state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.asset import extract_capabilities
+from repro.core.server import SmartchainServer
+
+
+@dataclass
+class RequestSummary:
+    """One RFQ's market activity."""
+
+    request_id: str
+    requester: str
+    capabilities: list[str]
+    bid_count: int
+    interest_count: int
+    settled: bool
+    winning_bid: str | None
+
+
+@dataclass
+class ProvenanceStep:
+    """One hop in an asset's ownership history."""
+
+    transaction_id: str
+    operation: str
+    holders: list[str]
+
+
+class MarketplaceAnalytics:
+    """Business/decision-support queries over committed state."""
+
+    def __init__(self, server: SmartchainServer):
+        self._server = server
+        self._transactions = server.database.collection("transactions")
+
+    # -- discovery --------------------------------------------------------------
+
+    def open_requests(self, capability: str | None = None) -> list[dict[str, Any]]:
+        """Open RFQs, optionally filtered by requested capability."""
+        return self._server.open_requests(capability)
+
+    def request_summary(self, request_id: str) -> RequestSummary:
+        """Full activity picture for one RFQ."""
+        request = self._transactions.find_one({"id": request_id}) or {}
+        bids = self._transactions.find({"operation": "BID", "references": request_id})
+        interests = self._transactions.find(
+            {"operation": "INTEREST", "references": request_id}
+        )
+        accept = self._transactions.find_one(
+            {"operation": "ACCEPT_BID", "references": request_id}
+        )
+        winning = None
+        if accept is not None:
+            winning = (accept.get("metadata") or {}).get("win_bid_id")
+        requester = ""
+        inputs = request.get("inputs") or []
+        if inputs and inputs[0].get("owners_before"):
+            requester = inputs[0]["owners_before"][0]
+        return RequestSummary(
+            request_id=request_id,
+            requester=requester,
+            capabilities=extract_capabilities(request.get("asset")),
+            bid_count=len(bids),
+            interest_count=len(interests),
+            settled=accept is not None,
+            winning_bid=winning,
+        )
+
+    def capability_demand(self) -> dict[str, int]:
+        """How often each capability is requested across all RFQs."""
+        demand: dict[str, int] = {}
+        for request in self._transactions.find({"operation": "REQUEST"}):
+            for capability in extract_capabilities(request.get("asset")):
+                demand[capability] = demand.get(capability, 0) + 1
+        return demand
+
+    # -- provenance ----------------------------------------------------------------
+
+    def provenance(self, asset_id: str) -> list[ProvenanceStep]:
+        """The ordered chain of custody for an asset lineage.
+
+        Walks the spend graph from the minting transaction, following
+        whichever committed transaction spends the current tip.
+        """
+        steps: list[ProvenanceStep] = []
+        current = self._transactions.find_one({"id": asset_id})
+        while current is not None:
+            outputs = current.get("outputs") or []
+            holders = outputs[0].get("public_keys", []) if outputs else []
+            steps.append(
+                ProvenanceStep(
+                    transaction_id=current["id"],
+                    operation=current.get("operation", "?"),
+                    holders=holders,
+                )
+            )
+            spender = self._transactions.find_one(
+                {"inputs.fulfills.transaction_id": current["id"]}
+            )
+            if spender is None or spender["id"] == current["id"]:
+                break
+            current = spender
+        return steps
+
+    def holdings(self, public_key: str) -> list[dict[str, Any]]:
+        """Unspent outputs (wallet view) for an account."""
+        return self._server.outputs_for(public_key)
+
+    # -- market structure -------------------------------------------------------------
+
+    def bid_competition(self) -> dict[str, int]:
+        """request_id -> number of bids (market concentration input)."""
+        competition: dict[str, int] = {}
+        for bid in self._transactions.find({"operation": "BID"}):
+            for reference in bid.get("references", []):
+                competition[reference] = competition.get(reference, 0) + 1
+        return competition
+
+    def settlement_rate(self) -> float:
+        """Fraction of RFQs that reached an ACCEPT_BID."""
+        requests = self._transactions.count({"operation": "REQUEST"})
+        if requests == 0:
+            return 0.0
+        accepts = self._transactions.count({"operation": "ACCEPT_BID"})
+        return accepts / requests
+
+    def operation_volume(self) -> dict[str, int]:
+        """Committed transaction count per operation."""
+        volume: dict[str, int] = {}
+        for operation in ("CREATE", "TRANSFER", "REQUEST", "BID", "ACCEPT_BID",
+                          "RETURN", "INTEREST", "PRE_REQUEST"):
+            count = self._transactions.count({"operation": operation})
+            if count:
+                volume[operation] = count
+        return volume

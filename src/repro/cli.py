@@ -1,0 +1,152 @@
+"""Command-line interface: quick demos and experiment summaries.
+
+Usage::
+
+    python -m repro info                 # system inventory
+    python -m repro demo                 # one reverse auction, narrated
+    python -m repro compare [--size N]   # SCDB vs ETH-SC at one payload size
+    python -m repro workload [--total N] # show the scaled paper mix
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+    from repro.schema import OPERATION_SCHEMAS
+
+    print(f"repro {repro.__version__} — SmartchainDB reproduction (EDBT 2025)")
+    print("\nnative transaction types:")
+    for operation in OPERATION_SCHEMAS:
+        print(f"  {operation}")
+    print("\nsubsystems: core (declarative types), storage (document store),")
+    print("consensus (Tendermint/IBFT), crypto (Ed25519), ethereum (ETH-SC")
+    print("baseline), sim (discrete events), workloads, metrics, analytics")
+    print("\nsee DESIGN.md for the full inventory, EXPERIMENTS.md for results")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core import ClusterConfig, SmartchainCluster
+    from repro.crypto import keypair_from_string
+
+    cluster = SmartchainCluster(ClusterConfig(n_validators=args.validators))
+    driver = cluster.driver
+    sally = keypair_from_string("sally")
+    suppliers = [keypair_from_string(f"supplier-{index}") for index in range(3)]
+
+    print(f"[1/4] {len(suppliers)} suppliers mint capability assets")
+    creates = []
+    for keypair in suppliers:
+        create = driver.prepare_create(keypair, {"capabilities": ["3d-print"]})
+        cluster.submit_payload(create.to_dict())
+        creates.append(create)
+    cluster.run()
+
+    print("[2/4] sally posts a REQUEST")
+    request = driver.prepare_request(sally, ["3d-print"])
+    cluster.submit_and_settle(request)
+
+    print("[3/4] suppliers BID (assets escrowed natively)")
+    bids = []
+    for keypair, create in zip(suppliers, creates):
+        bid = driver.prepare_bid(keypair, request.tx_id, create.tx_id, [(create.tx_id, 0, 1)])
+        cluster.submit_payload(bid.to_dict())
+        bids.append(bid)
+    cluster.run()
+
+    print("[4/4] sally ACCEPT_BIDs supplier-1; losing bids RETURN automatically")
+    accept = driver.prepare_accept_bid(sally, request.tx_id, bids[1])
+    cluster.submit_and_settle(accept)
+
+    server = cluster.any_server()
+    returns = server.database.collection("transactions").count({"operation": "RETURN"})
+    print(f"\ncommitted: {len(cluster.committed_records())} transactions "
+          f"({returns} RETURN children), all natively validated")
+    print(f"eventual commit holds: {server.nested.recovery.is_fully_committed(accept.tx_id)}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.metrics.report import format_table, ratio
+    from repro.workloads import ScenarioSpec, run_eth_scenario, run_scdb_scenario
+
+    spec = ScenarioSpec(
+        n_windows=4,
+        creates_per_window=4,
+        bids_per_window=4,
+        payload_bytes=args.size,
+        phased=True,
+        scale_caps_with_payload=True,
+        eth_block_gas_limit=6_000_000,
+    )
+    print(f"running both systems at {args.size} B payloads (4 validators)...")
+    scdb = run_scdb_scenario(spec).metrics
+    eth = run_eth_scenario(spec).metrics
+    rows = []
+    for operation in ("CREATE", "REQUEST", "BID", "ACCEPT_BID"):
+        rows.append(
+            [operation, scdb.latency(operation), eth.latency(operation),
+             ratio(eth.latency(operation), scdb.latency(operation))]
+        )
+    rows.append(["-- throughput (tps)", scdb.throughput_tps, eth.throughput_tps,
+                 ratio(scdb.throughput_tps, eth.throughput_tps)])
+    print(format_table(
+        ["metric", "SCDB", "ETH-SC", "factor"], rows,
+        title=f"declarative vs smart contract at {args.size} B",
+    ))
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.metrics.report import format_table
+    from repro.workloads import WorkloadGenerator, WorkloadSpec
+    from repro.workloads.generator import PAPER_MIX
+
+    generator = WorkloadGenerator(WorkloadSpec(total=args.total))
+    counts = generator.counts()
+    rows = [
+        [operation, PAPER_MIX[operation], counts.get(operation, 0)]
+        for operation in PAPER_MIX
+    ]
+    print(format_table(
+        ["type", "paper (110k)", f"scaled ({args.total})"], rows,
+        title="Section 5.1.3 workload mix",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SmartchainDB reproduction toolkit"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("info", help="system inventory").set_defaults(func=_cmd_info)
+
+    demo = subparsers.add_parser("demo", help="run one narrated reverse auction")
+    demo.add_argument("--validators", type=int, default=4)
+    demo.set_defaults(func=_cmd_demo)
+
+    compare = subparsers.add_parser("compare", help="SCDB vs ETH-SC at one payload size")
+    compare.add_argument("--size", type=int, default=1115, help="payload bytes")
+    compare.set_defaults(func=_cmd_compare)
+
+    workload = subparsers.add_parser("workload", help="show the scaled paper mix")
+    workload.add_argument("--total", type=int, default=1100)
+    workload.set_defaults(func=_cmd_workload)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,174 @@
+"""Exception hierarchy for the SmartchainDB reproduction.
+
+The hierarchy mirrors the error classes referenced by the paper's
+validation algorithms (Algorithms 1-3): schema violations, semantic
+validation failures (``ValidationError``), missing spent inputs
+(``InputDoesNotExistError``), double spends, capability mismatches
+(``InsufficientCapabilitiesError``) and duplicate nested parents
+(``DuplicateTransactionError``).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Cryptography
+# ---------------------------------------------------------------------------
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class InvalidSignatureError(CryptoError):
+    """A signature failed verification against its public key/message."""
+
+
+class InvalidKeyError(CryptoError):
+    """A key is malformed (wrong length, bad encoding, off-curve point)."""
+
+
+class ThresholdNotMetError(CryptoError):
+    """A threshold (multi-signature) condition had too few valid subsignatures."""
+
+
+# ---------------------------------------------------------------------------
+# Encoding / schema
+# ---------------------------------------------------------------------------
+
+class EncodingError(ReproError):
+    """Canonical serialisation or base58/hex decoding failure."""
+
+
+class YamlParseError(ReproError):
+    """The yamlite parser rejected a document."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class SchemaValidationError(ReproError):
+    """A transaction payload violated its YAML/JSON schema (Algorithm 1).
+
+    ``path`` locates the offending element, e.g. ``outputs[0].amount``.
+    """
+
+    def __init__(self, message: str, path: str = "$"):
+        self.path = path
+        super().__init__(f"{path}: {message}")
+
+
+class UnknownOperationError(SchemaValidationError):
+    """The transaction ``operation`` is outside the reserved operation set."""
+
+
+# ---------------------------------------------------------------------------
+# Semantic validation (server side)
+# ---------------------------------------------------------------------------
+
+class ValidationError(ReproError):
+    """A transaction failed a semantic validation condition.
+
+    ``condition`` optionally names the violated condition from the formal
+    model, e.g. ``"CBID.6"`` for condition 6 of the BID type.
+    """
+
+    def __init__(self, message: str, condition: str | None = None):
+        self.condition = condition
+        if condition is not None:
+            message = f"[{condition}] {message}"
+        super().__init__(message)
+
+
+class InputDoesNotExistError(ValidationError):
+    """An input spends an output of a transaction that is not committed."""
+
+
+class DoubleSpendError(ValidationError):
+    """An input spends an output that an earlier committed transaction spent."""
+
+
+class InsufficientCapabilitiesError(ValidationError):
+    """BID asset capabilities do not cover the REQUEST capabilities (CBID.7)."""
+
+
+class DuplicateTransactionError(ValidationError):
+    """A transaction with this id (or a conflicting ACCEPT_BID) already exists."""
+
+
+class AmountError(ValidationError):
+    """Output amounts are non-positive or do not balance the spent inputs."""
+
+
+class WorkflowError(ValidationError):
+    """A transaction sequence violates the workflow rules (Definition 5)."""
+
+
+# ---------------------------------------------------------------------------
+# Storage
+# ---------------------------------------------------------------------------
+
+class StorageError(ReproError):
+    """Base class for document-store failures."""
+
+
+class DuplicateKeyError(StorageError):
+    """Insert violated a unique index."""
+
+
+class CollectionNotFoundError(StorageError):
+    """Named collection does not exist in the database."""
+
+
+class QueryError(StorageError):
+    """Malformed query document (unknown operator, bad operand type)."""
+
+
+# ---------------------------------------------------------------------------
+# Consensus / networking
+# ---------------------------------------------------------------------------
+
+class ConsensusError(ReproError):
+    """Base class for consensus-layer failures."""
+
+
+class QuorumNotReachedError(ConsensusError):
+    """Fewer than 2/3 of voting power is online; the chain halts."""
+
+
+class NodeCrashedError(ConsensusError):
+    """Operation attempted on a crashed node."""
+
+
+class MempoolFullError(ConsensusError):
+    """The node's mempool rejected a transaction because it is at capacity."""
+
+
+# ---------------------------------------------------------------------------
+# Ethereum baseline
+# ---------------------------------------------------------------------------
+
+class EvmError(ReproError):
+    """Base class for the smart-contract runtime."""
+
+
+class OutOfGasError(EvmError):
+    """Execution exceeded the transaction gas limit."""
+
+
+class RevertError(EvmError):
+    """Contract execution reverted (Solidity ``require``/``revert``)."""
+
+    def __init__(self, reason: str = ""):
+        self.reason = reason
+        super().__init__(f"execution reverted: {reason}" if reason else "execution reverted")
+
+
+class BlockGasLimitError(EvmError):
+    """A single transaction needs more gas than fits in one block."""

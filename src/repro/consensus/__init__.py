@@ -1,0 +1,31 @@
+"""BFT consensus substrate: Tendermint- and IBFT-style engines."""
+
+from repro.consensus.abci import Application, NullApplication, envelope_for
+from repro.consensus.bft import GENESIS_ID, BftConfig, BftEngine, CommitRecord, Validator
+from repro.consensus.ibft import DEFAULT_BLOCK_GAS_LIMIT, ibft_config, make_ibft_cluster
+from repro.consensus.mempool import Mempool
+from repro.consensus.tendermint import make_tendermint_cluster, tendermint_config
+from repro.consensus.types import NIL, PRECOMMIT, PREVOTE, Block, TxEnvelope, Vote
+
+__all__ = [
+    "Application",
+    "BftConfig",
+    "BftEngine",
+    "Block",
+    "CommitRecord",
+    "DEFAULT_BLOCK_GAS_LIMIT",
+    "GENESIS_ID",
+    "Mempool",
+    "NIL",
+    "NullApplication",
+    "PRECOMMIT",
+    "PREVOTE",
+    "TxEnvelope",
+    "Validator",
+    "Vote",
+    "envelope_for",
+    "ibft_config",
+    "make_ibft_cluster",
+    "make_tendermint_cluster",
+    "tendermint_config",
+]

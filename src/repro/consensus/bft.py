@@ -1,0 +1,469 @@
+"""Message-level BFT consensus engine.
+
+One engine serves both consensus protocols the paper's evaluation uses:
+
+* **Tendermint** (SmartchainDB side): proposer rotation, prevote/precommit
+  phases with 2/3 quorums, and BigchainDB's *blockchain pipelining* — the
+  proposer of height H+1 may propose as soon as it observes a prevote
+  quorum for H, without waiting for H to finalise.
+* **Istanbul BFT** (Quorum / ETH-SC side): the same two-phase quorum
+  structure (PRE-PREPARE/PREPARE/COMMIT maps onto proposal/prevote/
+  precommit), *no* pipelining, and a minimum block period.
+
+The engine is crash-fault tolerant: crashed validators receive nothing,
+lose volatile state (mempool, votes) and catch up from peers on recovery.
+Liveness needs > 2/3 of validators online, matching the paper's BFT
+threshold discussion in Section 4.2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.consensus.abci import Application
+from repro.consensus.mempool import Mempool
+from repro.consensus.types import NIL, PRECOMMIT, PREVOTE, Block, TxEnvelope, Vote
+from repro.sim.events import EventHandle, EventLoop
+from repro.sim.network import Message, Network
+
+GENESIS_ID = "0" * 64
+
+
+@dataclass
+class BftConfig:
+    """Protocol parameters.
+
+    Attributes:
+        max_block_txs: cap on transactions per block (None = unbounded).
+        max_block_weight: cap on summed envelope weight per block — the
+            block gas limit for the Ethereum baseline (None = unbounded).
+        pipelining: BigchainDB-style overlap of voting and finalisation.
+        propose_timeout: seconds before a round is skipped to the next
+            proposer (crash liveness).
+        min_block_interval: minimum spacing between a node's consecutive
+            proposals (IBFT block period; 0 for Tendermint).
+        vote_size_bytes: wire size of votes.
+    """
+
+    max_block_txs: int | None = 32
+    max_block_weight: int | None = None
+    pipelining: bool = True
+    propose_timeout: float = 1.0
+    min_block_interval: float = 0.0
+    vote_size_bytes: int = 128
+
+
+@dataclass
+class CommitRecord:
+    """Commit metadata exposed to metric collectors."""
+
+    block: Block
+    committed_at: float
+    node_id: str
+
+
+class Validator:
+    """One consensus participant: state machine + mempool + application."""
+
+    def __init__(
+        self,
+        node_id: str,
+        engine: "BftEngine",
+        application: Application,
+    ):
+        self.node_id = node_id
+        self.engine = engine
+        self.app = application
+        self.mempool = Mempool()
+        self.height = 1
+        self.round = 0
+        self.chain: list[Block] = []
+        self.last_block_id = GENESIS_ID
+        # Volatile consensus state.
+        self._proposals: dict[tuple[int, int], Block] = {}
+        self._votes: dict[tuple[str, int, int, str], set[str]] = {}
+        self._prevoted: set[tuple[int, int]] = set()
+        self._precommitted: set[tuple[int, int]] = set()
+        self._committed_ids: set[str] = set()
+        self._proposed_rounds: set[tuple[int, int]] = set()
+        self._timeout_handle: EventHandle | None = None
+        self._last_propose_time = float("-inf")
+        self._catchup_requested_at = float("-inf")
+
+    # -- helpers ---------------------------------------------------------------
+
+    @property
+    def _loop(self) -> EventLoop:
+        return self.engine.loop
+
+    @property
+    def _network(self) -> Network:
+        return self.engine.network
+
+    def _broadcast(self, kind: str, payload, size_bytes: int) -> None:
+        self._network.broadcast(self.node_id, kind, payload, size_bytes)
+
+    def _quorum(self) -> int:
+        n = len(self.engine.validators)
+        return (2 * n) // 3 + 1
+
+    def is_proposer(self, height: int, round_number: int) -> bool:
+        order = self.engine.validator_order
+        return order[(height + round_number) % len(order)] == self.node_id
+
+    # -- transaction intake ------------------------------------------------------
+
+    def submit_transaction(self, envelope: TxEnvelope, gossip: bool = True) -> bool:
+        """Receiver-node intake: admit locally, then gossip to peers."""
+        if not self.app.check_tx(envelope):
+            return False
+        if envelope.tx_id in self._committed_ids:
+            return False
+        added = self.mempool.add(envelope)
+        if added and gossip:
+            self._broadcast("TX", envelope, envelope.size_bytes)
+        self._kick_proposer()
+        return added
+
+    def _kick_proposer(self) -> None:
+        # New work arrived: arm the liveness timeout and, if due, propose.
+        self._schedule_round_timeout()
+        if self.is_proposer(self.height, self.round):
+            self.maybe_propose()
+
+    # -- proposing ----------------------------------------------------------------
+
+    def maybe_propose(self) -> None:
+        """Propose a block if this node is the due proposer and work exists."""
+        if self.engine.network.is_crashed(self.node_id):
+            return
+        if (self.height, self.round) in self._proposed_rounds:
+            return
+        if not self.is_proposer(self.height, self.round):
+            return
+        if len(self.mempool) == 0:
+            return
+        now = self._loop.clock.now
+        earliest = self._last_propose_time + self.engine.config.min_block_interval
+        if now < earliest:
+            self._loop.schedule_at(earliest, self.maybe_propose)
+            return
+        # Non-destructive assembly: transactions leave the pool only when
+        # a block containing them commits.
+        batch = self.mempool.peek(
+            max_txs=self.engine.config.max_block_txs,
+            max_weight=self.engine.config.max_block_weight,
+            exclude=self._committed_ids,
+        )
+        if not batch:
+            return
+        block = Block.build(self.height, self.round, self.node_id, batch, self.last_block_id)
+        self._proposed_rounds.add((self.height, self.round))
+        self._last_propose_time = now
+        # Proposer pays block assembly/execution cost before the proposal
+        # hits the wire (Quorum executes transactions while building).
+        assembly_cost = sum(self.app.execution_cost(envelope) for envelope in batch)
+        self._loop.schedule_in(
+            assembly_cost,
+            lambda: self._publish_proposal(block),
+        )
+
+    def _publish_proposal(self, block: Block) -> None:
+        if self.engine.network.is_crashed(self.node_id):
+            return
+        self._broadcast("PROPOSAL", block, block.size_bytes)
+        self._handle_proposal(block)
+
+    # -- message handling -----------------------------------------------------------
+
+    def handle_message(self, message: Message) -> None:
+        """Network entry point."""
+        kind = message.kind
+        if kind == "TX":
+            envelope: TxEnvelope = message.payload
+            if envelope.tx_id not in self._committed_ids:
+                try:
+                    if self.app.check_tx(envelope):
+                        self.mempool.add(envelope)
+                        self._kick_proposer()
+                except Exception:
+                    pass
+        elif kind == "PROPOSAL":
+            self._handle_proposal(message.payload)
+        elif kind == "VOTE":
+            self._handle_vote(message.payload, message.sender)
+        elif kind == "CATCHUP_REQUEST":
+            self._handle_catchup_request(message.payload, message.sender)
+        elif kind == "CATCHUP_BLOCKS":
+            self._handle_catchup_blocks(message.payload)
+
+    def _handle_proposal(self, block: Block) -> None:
+        if block.height < self.height:
+            return
+        self._proposals[(block.height, block.round)] = block
+        if block.height > self.height:
+            self._request_catchup(block.proposer)
+            return
+        self._schedule_round_timeout()
+        key = (block.height, block.round)
+        if key in self._prevoted:
+            return
+        self._prevoted.add(key)
+        # Validation compute before prevoting: every peer re-validates the
+        # block's transactions (the paper's second validation set).
+        validation_cost = sum(self.app.execution_cost(envelope) for envelope in block.transactions)
+        valid = all(self.app.check_tx(envelope) for envelope in block.transactions)
+        block_id = block.block_id if valid else NIL
+
+        def send_prevote() -> None:
+            if self.engine.network.is_crashed(self.node_id):
+                return
+            vote = Vote(PREVOTE, block.height, block.round, block_id, self.node_id)
+            self._broadcast("VOTE", vote, self.engine.config.vote_size_bytes)
+            self._handle_vote(vote, self.node_id)
+
+        self._loop.schedule_in(validation_cost, send_prevote)
+
+    def _handle_vote(self, vote: Vote, sender: str) -> None:
+        if vote.height < self.height:
+            return
+        if vote.height > self.height:
+            self._request_catchup(sender)
+            return
+        key = (vote.phase, vote.height, vote.round, vote.block_id)
+        voters = self._votes.setdefault(key, set())
+        voters.add(vote.voter)
+        if len(voters) < self._quorum() or vote.block_id == NIL:
+            return
+        if vote.phase == PREVOTE:
+            self._on_prevote_quorum(vote)
+        else:
+            self._on_precommit_quorum(vote)
+
+    def _on_prevote_quorum(self, vote: Vote) -> None:
+        key = (vote.height, vote.round)
+        if key not in self._precommitted:
+            self._precommitted.add(key)
+            precommit = Vote(PRECOMMIT, vote.height, vote.round, vote.block_id, self.node_id)
+            self._broadcast("VOTE", precommit, self.engine.config.vote_size_bytes)
+            self._handle_vote(precommit, self.node_id)
+        # Blockchain pipelining: the next proposer may start assembling
+        # height H+1 as soon as H has a prevote quorum.
+        if self.engine.config.pipelining and self.is_proposer(vote.height + 1, 0):
+            block = self._proposals.get((vote.height, vote.round))
+            if block is not None and block.block_id == vote.block_id:
+                self._pipeline_next(block)
+
+    def _pipeline_next(self, parent: Block) -> None:
+        """Pre-assemble the next block optimistically (commit will publish)."""
+        # Nothing to do eagerly beyond kicking the proposer once committed;
+        # the speedup is modelled by skipping the post-commit storage wait.
+        self._pipeline_ready = parent.height + 1
+
+    def _on_precommit_quorum(self, vote: Vote) -> None:
+        if vote.height != self.height:
+            return
+        block = self._proposals.get((vote.height, vote.round))
+        if block is None or block.block_id != vote.block_id:
+            return
+        self._commit_block(block)
+
+    # -- commit ------------------------------------------------------------------
+
+    def _commit_block(self, block: Block) -> None:
+        commit_cost = self.app.commit_cost(block)
+        pipelined = self.engine.config.pipelining
+
+        def finalize() -> None:
+            if self.engine.network.is_crashed(self.node_id):
+                return
+            if block.height != self.height:
+                return
+            self._apply_block(block)
+            self._cancel_round_timeout()
+            # Next height: with pipelining the proposer overlaps storage
+            # commit with proposal assembly; without it, it must wait.
+            if pipelined:
+                self.maybe_propose()
+            else:
+                self._loop.schedule_in(0.0, self.maybe_propose)
+            self._schedule_round_timeout()
+
+        if pipelined:
+            # Storage write overlaps the next round: finalize logically now,
+            # charge the disk time to the background.
+            finalize()
+            self._loop.clock  # (storage happens off the critical path)
+        else:
+            self._loop.schedule_in(commit_cost, finalize)
+
+    def _apply_block(self, block: Block) -> None:
+        delivered = [
+            envelope
+            for envelope in block.transactions
+            if envelope.tx_id not in self._committed_ids and self.app.deliver_tx(envelope)
+        ]
+        self.app.commit_block(block, delivered)
+        self.chain.append(block)
+        self.last_block_id = block.block_id
+        self.height = block.height + 1
+        self.round = 0
+        self._committed_ids.update(envelope.tx_id for envelope in block.transactions)
+        self.mempool.remove([envelope.tx_id for envelope in block.transactions])
+        self._gc_consensus_state(block.height)
+        self.engine.record_commit(self.node_id, block)
+
+    def _gc_consensus_state(self, committed_height: int) -> None:
+        self._proposals = {
+            key: value for key, value in self._proposals.items() if key[0] > committed_height
+        }
+        self._votes = {
+            key: value for key, value in self._votes.items() if key[1] > committed_height
+        }
+        self._prevoted = {key for key in self._prevoted if key[0] > committed_height}
+        self._precommitted = {key for key in self._precommitted if key[0] > committed_height}
+        self._proposed_rounds = {
+            key for key in self._proposed_rounds if key[0] > committed_height
+        }
+
+    # -- timeouts & liveness --------------------------------------------------------
+
+    def _has_pending_work(self) -> bool:
+        """True if this height still has something to decide."""
+        if len(self.mempool) > 0:
+            return True
+        return any(key[0] == self.height for key in self._proposals)
+
+    def _schedule_round_timeout(self) -> None:
+        if self._timeout_handle is not None and not self._timeout_handle.cancelled:
+            return
+        if not self._has_pending_work():
+            # Nothing to decide: stay quiet instead of spinning rounds.
+            return
+        height, round_number = self.height, self.round
+        # Exponential backoff per skipped round (IBFT-style) so that slow
+        # block assembly at high gas loads is not perpetually outrun by
+        # the round timer.
+        timeout = self.engine.config.propose_timeout * (2 ** min(round_number, 6))
+        self._timeout_handle = self._loop.schedule_in(
+            timeout,
+            lambda: self._on_round_timeout(height, round_number),
+        )
+
+    def _cancel_round_timeout(self) -> None:
+        if self._timeout_handle is not None:
+            self._timeout_handle.cancel()
+            self._timeout_handle = None
+
+    def _on_round_timeout(self, height: int, round_number: int) -> None:
+        self._timeout_handle = None
+        if self.engine.network.is_crashed(self.node_id):
+            return
+        if self.height != height or self.round != round_number:
+            return
+        if not self._has_pending_work():
+            return
+        # Skip to the next proposer at the same height.
+        self.round += 1
+        self._schedule_round_timeout()
+        self.maybe_propose()
+
+    # -- catch-up ---------------------------------------------------------------------
+
+    def _request_catchup(self, peer: str) -> None:
+        now = self._loop.clock.now
+        if now - self._catchup_requested_at < 0.5:
+            return
+        self._catchup_requested_at = now
+        self._network.send(self.node_id, peer, "CATCHUP_REQUEST", self.height, 64)
+
+    def _handle_catchup_request(self, from_height: int, sender: str) -> None:
+        blocks = [block for block in self.chain if block.height >= from_height]
+        if blocks:
+            size = sum(block.size_bytes for block in blocks)
+            self._network.send(self.node_id, sender, "CATCHUP_BLOCKS", blocks, size)
+
+    def _handle_catchup_blocks(self, blocks: list[Block]) -> None:
+        for block in sorted(blocks, key=lambda item: item.height):
+            if block.height == self.height and block.previous_id == self.last_block_id:
+                self._apply_block(block)
+        self._schedule_round_timeout()
+        self.maybe_propose()
+
+    # -- crash hooks ---------------------------------------------------------------
+
+    def on_crash(self) -> None:
+        """Volatile state is lost; durable chain/app state survives."""
+        self.mempool.flush_volatile()
+        self._proposals.clear()
+        self._votes.clear()
+        self._prevoted.clear()
+        self._precommitted.clear()
+        self._proposed_rounds.clear()
+        self._cancel_round_timeout()
+
+    def on_recover(self) -> None:
+        """Rejoin: ask a live peer for missed blocks."""
+        peers = [node for node in self.engine.validator_order if node != self.node_id]
+        for peer in peers:
+            if not self._network.is_crashed(peer):
+                self._catchup_requested_at = float("-inf")
+                self._request_catchup(peer)
+                break
+        self._schedule_round_timeout()
+
+
+class BftEngine:
+    """A cluster of validators over one simulated network."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        network: Network,
+        application_factory: Callable[[str], Application],
+        validator_ids: list[str],
+        config: BftConfig | None = None,
+    ):
+        if not validator_ids:
+            raise ValueError("need at least one validator")
+        self.loop = loop
+        self.network = network
+        self.config = config or BftConfig()
+        self.validator_order = list(validator_ids)
+        self.validators: dict[str, Validator] = {}
+        self.commits: list[CommitRecord] = []
+        self._first_commit_heights: set[int] = set()
+        self.commit_listeners: list[Callable[[CommitRecord], None]] = []
+        for node_id in validator_ids:
+            validator = Validator(node_id, self, application_factory(node_id))
+            self.validators[node_id] = validator
+            network.register(node_id, validator.handle_message)
+
+    def validator(self, node_id: str) -> Validator:
+        return self.validators[node_id]
+
+    def record_commit(self, node_id: str, block: Block) -> None:
+        """Record the first commit of each height (cluster-level event)."""
+        if block.height in self._first_commit_heights:
+            return
+        self._first_commit_heights.add(block.height)
+        record = CommitRecord(block=block, committed_at=self.loop.clock.now, node_id=node_id)
+        self.commits.append(record)
+        for listener in self.commit_listeners:
+            listener(record)
+
+    def committed_envelopes(self) -> list[tuple[TxEnvelope, float]]:
+        """All committed transactions with their cluster commit times."""
+        out: list[tuple[TxEnvelope, float]] = []
+        for record in self.commits:
+            for envelope in record.block.transactions:
+                out.append((envelope, record.committed_at))
+        return out
+
+    def online_power_fraction(self) -> float:
+        """Fraction of validators currently online."""
+        online = sum(
+            1 for node_id in self.validator_order if not self.network.is_crashed(node_id)
+        )
+        return online / len(self.validator_order)

@@ -1,0 +1,53 @@
+"""Istanbul BFT configuration of the BFT engine (Quorum / ETH-SC side).
+
+Quorum's IBFT gives immediate finality with 2n+1/3 agreement, a minimum
+block period, and — critically for the evaluation — *sequential* block
+finalisation: no pipelining, and every block is bounded by the block gas
+limit, so heavy contract transactions directly throttle throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.consensus.abci import Application
+from repro.consensus.bft import BftConfig, BftEngine
+from repro.sim.events import EventLoop
+from repro.sim.network import Network
+
+#: Default Quorum-style block gas limit.
+DEFAULT_BLOCK_GAS_LIMIT = 10_000_000
+
+
+def ibft_config(
+    block_gas_limit: int = DEFAULT_BLOCK_GAS_LIMIT,
+    block_period: float = 1.0,
+    propose_timeout: float = 3.0,
+) -> BftConfig:
+    """Standard IBFT parameters for the baseline network."""
+    return BftConfig(
+        max_block_txs=None,
+        max_block_weight=block_gas_limit,
+        pipelining=False,
+        propose_timeout=propose_timeout,
+        min_block_interval=block_period,
+        vote_size_bytes=160,
+    )
+
+
+def make_ibft_cluster(
+    loop: EventLoop,
+    network: Network,
+    application_factory: Callable[[str], Application],
+    n_validators: int = 4,
+    config: BftConfig | None = None,
+) -> BftEngine:
+    """Build an ``n_validators``-node Quorum-IBFT cluster."""
+    validator_ids = [f"quorum-{index}" for index in range(n_validators)]
+    return BftEngine(
+        loop=loop,
+        network=network,
+        application_factory=application_factory,
+        validator_ids=validator_ids,
+        config=config or ibft_config(),
+    )

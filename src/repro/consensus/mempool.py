@@ -1,0 +1,124 @@
+"""Per-node mempool: admission, dedup, and block reaping."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.common.errors import MempoolFullError
+from repro.consensus.types import TxEnvelope
+
+
+class Mempool:
+    """FIFO transaction pool with id-dedup and weight-bounded reaping.
+
+    Args:
+        capacity: maximum resident transactions; beyond it, adds raise
+            :class:`MempoolFullError` (clients are expected to retry).
+    """
+
+    def __init__(self, capacity: int = 100_000):
+        self.capacity = capacity
+        self._pool: "OrderedDict[str, TxEnvelope]" = OrderedDict()
+        self._seen: set[str] = set()
+        self.stats = {"added": 0, "duplicates": 0, "rejected_full": 0, "reaped": 0}
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def __contains__(self, tx_id: str) -> bool:
+        return tx_id in self._pool
+
+    def add(self, envelope: TxEnvelope) -> bool:
+        """Admit an envelope.
+
+        Returns False for duplicates (already pooled *or* already reaped —
+        a committed transaction must not re-enter).
+
+        Raises:
+            MempoolFullError: at capacity.
+        """
+        if envelope.tx_id in self._seen:
+            self.stats["duplicates"] += 1
+            return False
+        if len(self._pool) >= self.capacity:
+            self.stats["rejected_full"] += 1
+            raise MempoolFullError(f"mempool at capacity ({self.capacity})")
+        self._pool[envelope.tx_id] = envelope
+        self._seen.add(envelope.tx_id)
+        self.stats["added"] += 1
+        return True
+
+    def reap(self, max_txs: int | None = None, max_weight: int | None = None) -> list[TxEnvelope]:
+        """Remove and return transactions for a block proposal.
+
+        FIFO order; stops at ``max_txs`` count or before ``max_weight``
+        total weight would be exceeded.  A single transaction heavier than
+        ``max_weight`` is skipped (left pooled) rather than blocking the
+        queue — mirroring a block gas limit.
+        """
+        batch: list[TxEnvelope] = []
+        weight = 0
+        skipped: list[TxEnvelope] = []
+        while self._pool:
+            if max_txs is not None and len(batch) >= max_txs:
+                break
+            tx_id, envelope = next(iter(self._pool.items()))
+            if max_weight is not None and weight + envelope.weight > max_weight:
+                if envelope.weight > max_weight:
+                    # Individually oversized: set aside so the rest can flow.
+                    self._pool.pop(tx_id)
+                    skipped.append(envelope)
+                    continue
+                break
+            self._pool.pop(tx_id)
+            batch.append(envelope)
+            weight += envelope.weight
+        for envelope in skipped:
+            self._pool[envelope.tx_id] = envelope
+        self.stats["reaped"] += len(batch)
+        return batch
+
+    def peek(
+        self,
+        max_txs: int | None = None,
+        max_weight: int | None = None,
+        exclude: set[str] | None = None,
+    ) -> list[TxEnvelope]:
+        """Like :meth:`reap` but non-destructive.
+
+        Proposal assembly uses this so that a proposal losing a round-skip
+        race does not strand its transactions: they stay pooled until a
+        block containing them actually commits (:meth:`remove`).
+        """
+        exclude = exclude or set()
+        batch: list[TxEnvelope] = []
+        weight = 0
+        for tx_id, envelope in self._pool.items():
+            if tx_id in exclude:
+                continue
+            if max_txs is not None and len(batch) >= max_txs:
+                break
+            if max_weight is not None and weight + envelope.weight > max_weight:
+                if envelope.weight > max_weight:
+                    continue  # individually oversized: unschedulable, skip
+                break
+            batch.append(envelope)
+            weight += envelope.weight
+        return batch
+
+    def remove(self, tx_ids: list[str]) -> None:
+        """Drop transactions that were committed via another node's block."""
+        for tx_id in tx_ids:
+            self._pool.pop(tx_id, None)
+            self._seen.add(tx_id)
+
+    def flush_volatile(self) -> None:
+        """Simulate a crash: resident transactions are lost, dedup memory
+        (backed by the chain itself) survives only for committed ids —
+        so we keep ``_seen`` intact for reaped ids but drop pending ones."""
+        pending = set(self._pool)
+        self._seen -= pending
+        self._pool.clear()
+
+    def pending_ids(self) -> list[str]:
+        return list(self._pool)

@@ -1,0 +1,50 @@
+"""Tendermint configuration of the BFT engine (SmartchainDB side).
+
+BigchainDB runs Tendermint with no mining and Proof-of-Stake-style
+validator sets; blocks are small and frequent, and *blockchain pipelining*
+lets validators vote on new blocks before the previous block is finalised
+(paper Section 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.consensus.abci import Application
+from repro.consensus.bft import BftConfig, BftEngine
+from repro.sim.events import EventLoop
+from repro.sim.network import Network
+
+
+def tendermint_config(
+    max_block_txs: int = 16,
+    pipelining: bool = True,
+    propose_timeout: float = 1.0,
+) -> BftConfig:
+    """Standard Tendermint parameters used by SmartchainDB."""
+    return BftConfig(
+        max_block_txs=max_block_txs,
+        max_block_weight=None,
+        pipelining=pipelining,
+        propose_timeout=propose_timeout,
+        min_block_interval=0.0,
+        vote_size_bytes=128,
+    )
+
+
+def make_tendermint_cluster(
+    loop: EventLoop,
+    network: Network,
+    application_factory: Callable[[str], Application],
+    n_validators: int = 4,
+    config: BftConfig | None = None,
+) -> BftEngine:
+    """Build an ``n_validators``-node Tendermint cluster."""
+    validator_ids = [f"scdb-{index}" for index in range(n_validators)]
+    return BftEngine(
+        loop=loop,
+        network=network,
+        application_factory=application_factory,
+        validator_ids=validator_ids,
+        config=config or tendermint_config(),
+    )

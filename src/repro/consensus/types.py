@@ -1,0 +1,87 @@
+"""Consensus data types: envelopes, blocks, votes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto.hashing import hash_document
+
+
+@dataclass(frozen=True)
+class TxEnvelope:
+    """A transaction as the consensus layer sees it: opaque payload + id.
+
+    ``size_bytes`` is the canonical serialised size (drives network and
+    block-assembly costs); ``weight`` is a protocol-specific cost unit
+    (gas for the Ethereum baseline, validation cost units for SmartchainDB).
+    """
+
+    tx_id: str
+    payload: Any
+    size_bytes: int
+    weight: int = 1
+    submitted_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class Block:
+    """A proposed or committed block."""
+
+    height: int
+    round: int
+    proposer: str
+    transactions: tuple[TxEnvelope, ...]
+    previous_id: str
+    block_id: str = field(default="")
+
+    @staticmethod
+    def build(
+        height: int,
+        round_number: int,
+        proposer: str,
+        transactions: list[TxEnvelope],
+        previous_id: str,
+    ) -> "Block":
+        """Construct a block, deriving its content-addressed id."""
+        block_id = hash_document(
+            {
+                "height": height,
+                "round": round_number,
+                "proposer": proposer,
+                "previous": previous_id,
+                "txs": [envelope.tx_id for envelope in transactions],
+            }
+        )
+        return Block(
+            height=height,
+            round=round_number,
+            proposer=proposer,
+            transactions=tuple(transactions),
+            previous_id=previous_id,
+            block_id=block_id,
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate wire size (header + payloads)."""
+        return 512 + sum(envelope.size_bytes for envelope in self.transactions)
+
+
+#: Vote phases.  Tendermint names them prevote/precommit; IBFT prepare/commit.
+PREVOTE = "prevote"
+PRECOMMIT = "precommit"
+
+#: Sentinel block id for nil votes (timeout rounds).
+NIL = "<nil>"
+
+
+@dataclass(frozen=True)
+class Vote:
+    """A validator's vote for a block (or nil) in one phase of one round."""
+
+    phase: str
+    height: int
+    round: int
+    block_id: str
+    voter: str

@@ -1,0 +1,69 @@
+"""Assets: the things transactions create, escrow and transfer.
+
+Formal model (Section 3.1): an asset is a tuple ``<(k_i, v_i), amt>`` —
+a nested key/value document plus a non-negative number of divisible
+shares.  In the marketplace use case the document carries *capabilities*
+(certifications, work history, machine specs) that BID validation matches
+against REQUEST requirements (CBID.7 / Algorithm 2 lines 8-11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import AmountError
+
+#: Conventional key under which capability lists live in asset data.
+CAPABILITIES_KEY = "capabilities"
+
+
+@dataclass(frozen=True)
+class Asset:
+    """An asset definition: arbitrary nested data + total shares."""
+
+    data: dict[str, Any] = field(default_factory=dict)
+    amount: int = 1
+
+    def __post_init__(self) -> None:
+        if self.amount < 1:
+            raise AmountError(f"asset amount must be >= 1, got {self.amount}")
+
+    def capabilities(self) -> list[str]:
+        """The asset's declared capability strings (possibly empty)."""
+        value = self.data.get(CAPABILITIES_KEY, [])
+        if isinstance(value, list):
+            return [item for item in value if isinstance(item, str)]
+        return []
+
+    def to_dict(self) -> dict[str, Any]:
+        """Inline-asset wire form (used by CREATE/REQUEST)."""
+        return {"data": dict(self.data)}
+
+
+def extract_capabilities(asset_section: dict[str, Any] | None) -> list[str]:
+    """Pull capability strings out of a transaction's asset section.
+
+    Works for both inline assets (``{"data": {...}}``) and, defensively,
+    bare data documents.  Implements ``getCapsFromRFQ`` /
+    ``getCapsFromAsset`` of Algorithm 2.
+    """
+    if not isinstance(asset_section, dict):
+        return []
+    data = asset_section.get("data", asset_section)
+    if not isinstance(data, dict):
+        return []
+    value = data.get(CAPABILITIES_KEY, [])
+    if not isinstance(value, list):
+        return []
+    return [item for item in value if isinstance(item, str)]
+
+
+def capabilities_satisfied(requested: list[str], offered: list[str]) -> bool:
+    """CBID.7: the requested capabilities must be a subset of the offered.
+
+    SmartchainDB evaluates this with set semantics — O(n) — whereas the
+    Solidity baseline's nested-loop string comparison is O(n^2)
+    (Section 5.2.1 analysis).
+    """
+    return set(requested) <= set(offered)

@@ -1,0 +1,236 @@
+"""Transaction templates — the Driver's "Prepare" step.
+
+The paper's Driver generates transactions from "pre-existing templates
+customised to each transaction type" (Section 4).  Each function here
+assembles an unsigned :class:`~repro.core.transaction.Transaction` from
+high-level intent; callers then ``sign(...)`` it.  No user-written
+transaction logic is ever needed — that is the declarative pitch.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.errors import ValidationError
+from repro.core.asset import CAPABILITIES_KEY
+from repro.core.transaction import (
+    ACCEPT_BID,
+    BID,
+    CREATE,
+    REQUEST,
+    RETURN,
+    TRANSFER,
+    Input,
+    Output,
+    OutputRef,
+    Transaction,
+)
+from repro.crypto.keys import KeyPair
+
+
+def build_create(
+    owner: KeyPair,
+    asset_data: dict[str, Any],
+    amount: int = 1,
+    metadata: dict[str, Any] | None = None,
+    recipients: list[tuple[str, int]] | None = None,
+) -> Transaction:
+    """CREATE: mint a new asset owned by ``owner`` (or custom recipients).
+
+    Args:
+        owner: the minting account (signs the genesis input).
+        asset_data: the asset's nested key/value document.
+        amount: total shares when no explicit recipients are given.
+        recipients: optional ``(public_key, amount)`` split of the shares.
+    """
+    if recipients:
+        outputs = [Output.for_owner(public_key, share) for public_key, share in recipients]
+    else:
+        outputs = [Output.for_owner(owner.public_key, amount)]
+    return Transaction(
+        operation=CREATE,
+        asset={"data": dict(asset_data)},
+        inputs=[Input(owners_before=[owner.public_key], fulfills=None)],
+        outputs=outputs,
+        metadata=metadata,
+    )
+
+
+def build_transfer(
+    sender: KeyPair,
+    spent: list[tuple[str, int, int]],
+    asset_id: str,
+    recipients: list[tuple[str, int]],
+    metadata: dict[str, Any] | None = None,
+) -> Transaction:
+    """TRANSFER: spend committed outputs and assign new owners.
+
+    Args:
+        sender: current owner signing the spend.
+        spent: list of ``(transaction_id, output_index, amount)`` being
+            consumed (amounts are informational; validation recomputes).
+        asset_id: id of the CREATE transaction that minted the asset.
+        recipients: ``(public_key, amount)`` pairs for the new outputs.
+    """
+    inputs = [
+        Input(
+            owners_before=[sender.public_key],
+            fulfills=OutputRef(transaction_id, output_index),
+        )
+        for transaction_id, output_index, _ in spent
+    ]
+    outputs = [
+        Output.for_owner(public_key, amount, owners_before=[sender.public_key])
+        for public_key, amount in recipients
+    ]
+    return Transaction(
+        operation=TRANSFER,
+        asset={"id": asset_id},
+        inputs=inputs,
+        outputs=outputs,
+        metadata=metadata,
+    )
+
+
+def build_request(
+    requester: KeyPair,
+    capabilities: list[str],
+    metadata: dict[str, Any] | None = None,
+    extra_asset_data: dict[str, Any] | None = None,
+) -> Transaction:
+    """REQUEST: post an RFQ asking for the given capabilities.
+
+    The requested capabilities live in the request's asset data so BID
+    validation (Algorithm 2) can read them with an indexed lookup.
+    """
+    asset_data: dict[str, Any] = dict(extra_asset_data or {})
+    asset_data[CAPABILITIES_KEY] = list(capabilities)
+    return Transaction(
+        operation=REQUEST,
+        asset={"data": asset_data},
+        inputs=[Input(owners_before=[requester.public_key], fulfills=None)],
+        outputs=[Output.for_owner(requester.public_key, 1)],
+        metadata=metadata,
+    )
+
+
+def build_bid(
+    bidder: KeyPair,
+    request_id: str,
+    bid_asset_id: str,
+    spent: list[tuple[str, int, int]],
+    escrow_public_key: str,
+    metadata: dict[str, Any] | None = None,
+) -> Transaction:
+    """BID: escrow an asset in response to a REQUEST (Definition 3).
+
+    The bid's inputs spend the bidder's committed outputs of
+    ``bid_asset_id``; every output is owned by the escrow account
+    (CBID.6), with the bidder recorded as ``owners_before`` so RETURNs
+    know where to send the asset back.
+    """
+    if not spent:
+        raise ValidationError("a BID must spend at least one output (CBID.1)", "CBID.1")
+    inputs = [
+        Input(
+            owners_before=[bidder.public_key],
+            fulfills=OutputRef(transaction_id, output_index),
+        )
+        for transaction_id, output_index, _ in spent
+    ]
+    total = sum(amount for _, _, amount in spent)
+    outputs = [
+        Output.for_owner(escrow_public_key, total, owners_before=[bidder.public_key])
+    ]
+    return Transaction(
+        operation=BID,
+        asset={"id": bid_asset_id},
+        inputs=inputs,
+        outputs=outputs,
+        metadata=metadata,
+        references=[request_id],
+    )
+
+
+def build_accept_bid(
+    requester: KeyPair,
+    request_id: str,
+    winning_bid: Transaction,
+    metadata: dict[str, Any] | None = None,
+) -> Transaction:
+    """ACCEPT_BID: select the winning bid (Definition 4, Algorithm 3).
+
+    Spends the winning bid's escrow-held output; the output assigns the
+    escrowed asset to the requester.  RETURN children for losing bids are
+    determined by the server at block commit (non-locking execution) and
+    recorded in ``children`` afterwards.
+    """
+    if winning_bid.tx_id is None:
+        raise ValidationError("winning bid must be committed (have an id)")
+    escrow_output = winning_bid.outputs[0]
+    inputs = [
+        Input(
+            owners_before=[requester.public_key],
+            fulfills=OutputRef(winning_bid.tx_id, 0),
+        )
+    ]
+    outputs = [
+        Output.for_owner(
+            requester.public_key,
+            escrow_output.amount,
+            owners_before=list(escrow_output.public_keys),
+        )
+    ]
+    meta = dict(metadata or {})
+    meta.setdefault("rfq_id", request_id)
+    meta.setdefault("win_bid_id", winning_bid.tx_id)
+    return Transaction(
+        operation=ACCEPT_BID,
+        asset={"id": winning_bid.tx_id},
+        inputs=inputs,
+        outputs=outputs,
+        metadata=meta,
+        references=[request_id],
+    )
+
+
+def build_return(
+    escrow: KeyPair,
+    losing_bid_payload: dict[str, Any],
+    accept_id: str,
+    metadata: dict[str, Any] | None = None,
+) -> Transaction:
+    """RETURN: system-issued child sending a losing bid back to its bidder.
+
+    Built by ``deterRtrnTxs`` (Algorithm 3) on the server from the losing
+    BID's payload: spends the escrow-held output and re-assigns it to the
+    recorded ``owners_before`` (the original bidder, CACCEPT_BID.8).
+    """
+    bid_id = losing_bid_payload["id"]
+    escrow_output = losing_bid_payload["outputs"][0]
+    original_bidders = escrow_output.get("owners_before") or []
+    if not original_bidders:
+        raise ValidationError(
+            f"bid {bid_id[:8]} has no recorded original bidder to return to",
+            "CACCEPT_BID.8",
+        )
+    inputs = [
+        Input(owners_before=[escrow.public_key], fulfills=OutputRef(bid_id, 0))
+    ]
+    outputs = [
+        Output.for_owner(
+            original_bidders[0],
+            int(escrow_output["amount"]),
+            owners_before=[escrow.public_key],
+        )
+    ]
+    meta = dict(metadata or {})
+    meta.setdefault("accept_id", accept_id)
+    return Transaction(
+        operation=RETURN,
+        asset={"id": losing_bid_payload["asset"]["id"]},
+        inputs=inputs,
+        outputs=outputs,
+        metadata=meta,
+        references=[bid_id, accept_id],
+    )

@@ -1,0 +1,261 @@
+"""The SmartchainDB cluster: servers + Tendermint + network, assembled.
+
+This is the top-level object examples and benchmarks interact with: it
+owns the simulated event loop, the validator network, one
+:class:`~repro.core.server.SmartchainServer` per node, the
+:class:`~repro.core.driver.Driver`, nested-transaction workers and the
+latency/throughput records the evaluation section measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.encoding import canonical_bytes
+from repro.common.errors import ValidationError
+from repro.consensus.abci import envelope_for
+from repro.consensus.bft import BftConfig, BftEngine, CommitRecord
+from repro.consensus.tendermint import make_tendermint_cluster, tendermint_config
+from repro.core.driver import Driver, DriverCallback
+from repro.core.server import ServerCostModel, SmartchainServer
+from repro.core.transaction import ACCEPT_BID
+from repro.crypto.keys import ReservedAccounts
+from repro.sim.events import EventLoop
+from repro.sim.failures import FailureInjector
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.rng import SeededRng
+
+
+@dataclass
+class TxRecord:
+    """Lifecycle record for one submitted transaction."""
+
+    tx_id: str
+    operation: str
+    size_bytes: int
+    submitted_at: float
+    committed_at: float | None = None
+    rejected: str | None = None
+
+    @property
+    def latency(self) -> float | None:
+        if self.committed_at is None:
+            return None
+        return self.committed_at - self.submitted_at
+
+
+@dataclass
+class ClusterConfig:
+    """Everything tunable about a SmartchainDB deployment."""
+
+    n_validators: int = 4
+    seed: int = 2024
+    consensus: BftConfig = field(default_factory=lambda: tendermint_config(max_block_txs=8))
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    cost_model: ServerCostModel = field(default_factory=ServerCostModel)
+    indexed_storage: bool = True
+    #: Register the INTEREST / PRE_REQUEST extension types on every node.
+    enable_extensions: bool = False
+    #: Delay before nested-transaction workers pick up queued RETURNs.
+    worker_poll_interval: float = 0.002
+    #: Parallel RETURN workers per receiver node.
+    worker_parallelism: int = 4
+
+
+class SmartchainCluster:
+    """A full SmartchainDB deployment on a simulated network."""
+
+    def __init__(self, config: ClusterConfig | None = None):
+        self.config = config or ClusterConfig()
+        self.loop = EventLoop()
+        self.rng = SeededRng(self.config.seed)
+        self.network = Network(self.loop, self.rng, self.config.network)
+        self.reserved = ReservedAccounts()
+        self.servers: dict[str, SmartchainServer] = {}
+
+        def factory(node_id: str) -> SmartchainServer:
+            server = SmartchainServer(
+                node_id,
+                self.reserved,
+                clock=self.loop.clock,
+                cost_model=self.config.cost_model,
+                indexed_storage=self.config.indexed_storage,
+            )
+            if self.config.enable_extensions:
+                from repro.core.extensions import register_marketplace_extensions
+
+                register_marketplace_extensions(server.validator)
+            self.servers[node_id] = server
+            return server
+
+        self.engine: BftEngine = make_tendermint_cluster(
+            self.loop,
+            self.network,
+            factory,
+            n_validators=self.config.n_validators,
+            config=self.config.consensus,
+        )
+        self.failures = FailureInjector(self.loop, self.network)
+        for node_id in self.engine.validator_order:
+            validator = self.engine.validator(node_id)
+            self.failures.register_callbacks(
+                node_id,
+                on_crash=validator.on_crash,
+                on_recover=lambda nid=node_id: self._on_node_recover(nid),
+            )
+
+        self.driver = Driver(self)
+        self.records: dict[str, TxRecord] = {}
+        self._callbacks: dict[str, DriverCallback] = {}
+        #: accept_id -> receiver node responsible for its RETURN children.
+        self._accept_receivers: dict[str, str] = {}
+        self.engine.commit_listeners.append(self._on_block_commit)
+
+    # -- submission path -----------------------------------------------------------
+
+    def submit_payload(
+        self,
+        payload: dict[str, Any],
+        callback: DriverCallback | None = None,
+        receiver: str | None = None,
+        _retry: bool = False,
+    ):
+        """Route a payload to a (random) receiver node — Fig. 4 lifecycle.
+
+        The receiver performs full semantic validation (charged to the
+        simulated clock), then gossips the transaction into mempools.
+        """
+        from repro.core.driver import SubmitResult  # local import to avoid cycle
+
+        tx_id = payload.get("id", "")
+        operation = payload.get("operation", "?")
+        existing = self.records.get(tx_id)
+        if existing is not None and existing.rejected is None and not _retry:
+            # Already in flight or committed (e.g. the same RETURN child
+            # determined by several nodes): keep the original record.
+            return SubmitResult(tx_id, operation, accepted=True)
+        size_bytes = len(canonical_bytes(payload))
+        now = self.loop.clock.now
+        record = TxRecord(tx_id, operation, size_bytes, submitted_at=now)
+        self.records[tx_id] = record
+        if callback is not None:
+            self._callbacks[tx_id] = callback
+
+        receiver_id = receiver or self.rng.choice("receiver", self.engine.validator_order)
+        if self.network.is_crashed(receiver_id):
+            alive = [n for n in self.engine.validator_order if not self.network.is_crashed(n)]
+            if not alive:
+                record.rejected = "no live validators"
+                return SubmitResult(tx_id, operation, accepted=False, error=record.rejected)
+            receiver_id = alive[0]
+        server = self.servers[receiver_id]
+        if operation == ACCEPT_BID:
+            self._accept_receivers[tx_id] = receiver_id
+
+        cost = server.costs.validation_cost(operation, size_bytes)
+
+        def receiver_step() -> None:
+            if self.network.is_crashed(receiver_id):
+                # Crash during initial validation: the driver re-triggers
+                # after a timeout (Section 4.2.1 case 1).
+                self.loop.schedule_in(
+                    1.0,
+                    lambda: self.submit_payload(
+                        payload, self._callbacks.get(tx_id), _retry=True
+                    ),
+                )
+                return
+            try:
+                server.receiver_validate(payload)
+            except ValidationError as error:
+                record.rejected = str(error)
+                self._fire_callback(tx_id, "rejected", str(error))
+                return
+            envelope = envelope_for(payload, tx_id, size_bytes, now=self.loop.clock.now)
+            self.engine.validator(receiver_id).submit_transaction(envelope)
+
+        self.loop.schedule_in(cost, receiver_step)
+        return SubmitResult(tx_id, operation, accepted=True)
+
+    # -- commit handling --------------------------------------------------------------
+
+    def _on_block_commit(self, record: CommitRecord) -> None:
+        for envelope in record.block.transactions:
+            tx_record = self.records.get(envelope.tx_id)
+            if tx_record is not None and tx_record.committed_at is None:
+                tx_record.committed_at = record.committed_at
+            self._fire_callback(envelope.tx_id, "committed", envelope.payload)
+            if envelope.payload.get("operation") == ACCEPT_BID:
+                self._schedule_return_workers(envelope.tx_id)
+
+    def _fire_callback(self, tx_id: str, status: str, detail: Any) -> None:
+        callback = self._callbacks.pop(tx_id, None)
+        if callback is not None:
+            callback(status, detail)
+
+    # -- nested transaction workers -----------------------------------------------------
+
+    def _schedule_return_workers(self, accept_id: str) -> None:
+        receiver_id = self._accept_receivers.get(accept_id)
+        if receiver_id is None:
+            receiver_id = self.engine.validator_order[0]
+        if self.network.is_crashed(receiver_id):
+            # Crash while enqueueing: recovery (case 2) re-enqueues later.
+            return
+        for _ in range(self.config.worker_parallelism):
+            self.loop.schedule_in(
+                self.config.worker_poll_interval,
+                lambda nid=receiver_id: self._drain_one_return(nid),
+            )
+
+    def _drain_one_return(self, node_id: str) -> None:
+        if self.network.is_crashed(node_id):
+            return
+        server = self.servers[node_id]
+        job = server.nested.queue.get()
+        if job is None:
+            return
+        # "RETURNs are sent to a randomly selected validator node" (4.2.1).
+        target = self.rng.choice("return-target", self.engine.validator_order)
+        self.submit_payload(job.payload, receiver=target)
+        # Keep draining until the queue is empty.
+        self.loop.schedule_in(self.config.worker_poll_interval, lambda: self._drain_one_return(node_id))
+
+    def _on_node_recover(self, node_id: str) -> None:
+        """Recovery: re-enqueue pending RETURNs from the durable log."""
+        self.engine.validator(node_id).on_recover()
+        server = self.servers[node_id]
+        reenqueued = server.nested.recover(server.context.locked_bids)
+        if reenqueued:
+            for _ in range(self.config.worker_parallelism):
+                self.loop.schedule_in(
+                    self.config.worker_poll_interval,
+                    lambda: self._drain_one_return(node_id),
+                )
+
+    # -- convenience -----------------------------------------------------------------
+
+    def run(self, duration: float | None = None, max_events: int = 5_000_000) -> None:
+        """Advance the simulation (until idle or for ``duration`` seconds)."""
+        if duration is None:
+            self.loop.run_until_idle(max_events=max_events)
+        else:
+            self.loop.run(until=self.loop.clock.now + duration, max_events=max_events)
+
+    def submit_and_settle(self, transaction, max_events: int = 5_000_000) -> TxRecord:
+        """Submit one transaction and run the loop until it settles."""
+        payload = transaction.to_dict() if hasattr(transaction, "to_dict") else transaction
+        self.submit_payload(payload)
+        self.loop.run_until_idle(max_events=max_events)
+        return self.records[payload["id"]]
+
+    def any_server(self) -> SmartchainServer:
+        """A live server for queries (first non-crashed node)."""
+        for node_id in self.engine.validator_order:
+            if not self.network.is_crashed(node_id):
+                return self.servers[node_id]
+        raise ValidationError("all nodes are down")
+
+    def committed_records(self) -> list[TxRecord]:
+        return [record for record in self.records.values() if record.committed_at is not None]

@@ -1,0 +1,118 @@
+"""The SmartchainDB Driver: prepare, sign, submit, callback.
+
+The paper's Driver (Java in the original; Python here) turns client
+intent into signed transactions using per-type templates, submits them to
+a randomly selected receiver node, and invokes a callback "when the
+transaction is committed or if any validation error is raised" (Fig. 4).
+
+Two modes mirror Section 4.2's execution modes:
+
+* ``sync``  — the call returns immediately after submission (response
+  before validation);
+* ``async`` — the registered callback fires on commit or on rejection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.common.errors import ReproError
+from repro.core import builders
+from repro.core.transaction import Transaction
+from repro.crypto.keys import KeyPair
+
+#: callback(status, payload_or_error) with status in {"committed", "rejected"}.
+DriverCallback = Callable[[str, Any], None]
+
+
+@dataclass
+class SubmitResult:
+    """What the driver hands back at submission time."""
+
+    tx_id: str
+    operation: str
+    accepted: bool
+    error: str | None = None
+
+
+class Driver:
+    """Client-side driver bound to one cluster."""
+
+    def __init__(self, cluster: "SmartchainCluster"):  # noqa: F821 (circular by design)
+        self._cluster = cluster
+        self.escrow_public_key = cluster.reserved.escrow.public_key
+
+    # -- prepare-and-sign templates ------------------------------------------------
+
+    def prepare_create(self, owner: KeyPair, asset_data: dict[str, Any], **kwargs: Any) -> Transaction:
+        """Template for CREATE (signs with ``owner``)."""
+        return builders.build_create(owner, asset_data, **kwargs).sign([owner])
+
+    def prepare_transfer(
+        self,
+        sender: KeyPair,
+        spent: list[tuple[str, int, int]],
+        asset_id: str,
+        recipients: list[tuple[str, int]],
+        **kwargs: Any,
+    ) -> Transaction:
+        """Template for TRANSFER."""
+        return builders.build_transfer(sender, spent, asset_id, recipients, **kwargs).sign([sender])
+
+    def prepare_request(self, requester: KeyPair, capabilities: list[str], **kwargs: Any) -> Transaction:
+        """Template for REQUEST."""
+        return builders.build_request(requester, capabilities, **kwargs).sign([requester])
+
+    def prepare_bid(
+        self,
+        bidder: KeyPair,
+        request_id: str,
+        bid_asset_id: str,
+        spent: list[tuple[str, int, int]],
+        **kwargs: Any,
+    ) -> Transaction:
+        """Template for BID (outputs escrowed automatically, CBID.6)."""
+        return builders.build_bid(
+            bidder, request_id, bid_asset_id, spent, self.escrow_public_key, **kwargs
+        ).sign([bidder])
+
+    def prepare_accept_bid(
+        self,
+        requester: KeyPair,
+        request_id: str,
+        winning_bid: Transaction | dict[str, Any],
+        **kwargs: Any,
+    ) -> Transaction:
+        """Template for ACCEPT_BID."""
+        if isinstance(winning_bid, dict):
+            winning_bid = Transaction.from_dict(winning_bid)
+        return builders.build_accept_bid(requester, request_id, winning_bid, **kwargs).sign(
+            [requester]
+        )
+
+    # -- submission ------------------------------------------------------------------
+
+    def submit(
+        self,
+        transaction: Transaction | dict[str, Any],
+        callback: DriverCallback | None = None,
+        mode: str = "async",
+    ) -> SubmitResult:
+        """Submit a signed transaction to a random receiver node.
+
+        Args:
+            transaction: signed transaction (or raw payload dict).
+            callback: invoked with ("committed", payload) or
+                ("rejected", error) once the outcome is known.
+            mode: "sync" (fire-and-forget) or "async" (callback-driven).
+
+        Returns:
+            A :class:`SubmitResult`; ``accepted`` reflects only receiver
+            admission, not final commitment.
+        """
+        payload = transaction.to_dict() if isinstance(transaction, Transaction) else transaction
+        if mode not in ("sync", "async"):
+            raise ReproError(f"unknown driver mode {mode!r}")
+        effective_callback = callback if mode == "async" else None
+        return self._cluster.submit_payload(payload, callback=effective_callback)

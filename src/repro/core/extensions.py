@@ -1,0 +1,112 @@
+"""Extension transaction types built with the predicate DSL.
+
+The paper's "hope is that this set can be extended over time resulting
+in a corresponding decrease in the dependence on smart contracts".  The
+reserved-operation enum in the base schema already names two further
+marketplace primitives; here they are, defined *entirely declaratively*
+— each is a name plus a composed condition expression, no validator
+class:
+
+* **INTEREST** — a supplier signals interest in an open REQUEST before
+  committing an asset-backed BID (a common pre-auction step).  One per
+  (supplier, request); spends nothing.
+* **PRE_REQUEST** — a buyer publishes a draft RFQ for market feedback;
+  a later REQUEST can reference it.  Spends nothing, must declare the
+  draft capabilities.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ValidationError
+from repro.core.context import ValidationContext
+from repro.core.predicates import (
+    DeclarativeType,
+    Predicate,
+    declarative_type,
+    genesis_inputs,
+    id_integral,
+    min_references,
+    references_committed_operation,
+    signatures_valid,
+    unique_per_reference,
+)
+from repro.core.transaction import Input, Output, Transaction
+from repro.core.validation import TransactionValidator
+from repro.crypto.keys import KeyPair
+
+INTEREST = "INTEREST"
+PRE_REQUEST = "PRE_REQUEST"
+
+
+def _declares_capabilities() -> Predicate:
+    def check(ctx: ValidationContext, transaction: Transaction) -> None:
+        data = (transaction.asset or {}).get("data") or {}
+        capabilities = data.get("capabilities")
+        if not isinstance(capabilities, list) or not capabilities:
+            raise ValidationError("draft must declare at least one capability")
+
+    return Predicate("declares-capabilities", check)
+
+
+def interest_type() -> DeclarativeType:
+    """tau_INTEREST, composed from reusable predicates."""
+    return declarative_type(
+        INTEREST,
+        [
+            id_integral(),
+            genesis_inputs(),
+            signatures_valid(),
+            min_references(1),
+            references_committed_operation("REQUEST", exactly=1),
+            unique_per_reference(INTEREST),
+        ],
+    )
+
+
+def pre_request_type() -> DeclarativeType:
+    """tau_PRE_REQUEST."""
+    return declarative_type(
+        PRE_REQUEST,
+        [
+            id_integral(),
+            genesis_inputs(),
+            signatures_valid(),
+            _declares_capabilities(),
+        ],
+    )
+
+
+def register_marketplace_extensions(validator: TransactionValidator) -> None:
+    """Register INTEREST and PRE_REQUEST on a validator instance."""
+    validator.register(interest_type())
+    validator.register(pre_request_type())
+
+
+# -- builders (Driver templates for the new types) --------------------------------
+
+
+def build_interest(
+    supplier: KeyPair, request_id: str, metadata: dict | None = None
+) -> Transaction:
+    """INTEREST: register interest in an open REQUEST."""
+    return Transaction(
+        operation=INTEREST,
+        asset={"data": {"kind": "interest"}},
+        inputs=[Input(owners_before=[supplier.public_key], fulfills=None)],
+        outputs=[Output.for_owner(supplier.public_key, 1)],
+        metadata=metadata,
+        references=[request_id],
+    )
+
+
+def build_pre_request(
+    buyer: KeyPair, capabilities: list[str], metadata: dict | None = None
+) -> Transaction:
+    """PRE_REQUEST: publish a draft RFQ for feedback."""
+    return Transaction(
+        operation=PRE_REQUEST,
+        asset={"data": {"capabilities": list(capabilities), "kind": "draft"}},
+        inputs=[Input(owners_before=[buyer.public_key], fulfills=None)],
+        outputs=[Output.for_owner(buyer.public_key, 1)],
+        metadata=metadata,
+    )

@@ -1,0 +1,286 @@
+"""Declarative condition composition — the paper's future-work direction.
+
+Section 8: "Our future work will be to generalize our modeling framework
+further to support more complex transaction modeling, including
+transaction conditions and compositions."  This module implements that
+generalisation: transaction-type conditions become first-class,
+composable *predicates*, and a new transaction type is just a name plus
+a predicate expression — no imperative validator class required.
+
+A predicate is evaluated against ``(ctx, transaction)`` and either
+passes or raises :class:`~repro.common.errors.ValidationError` with the
+condition label that failed.  Combinators::
+
+    all_of(p, q, ...)    every sub-predicate must hold (C_alpha sets)
+    any_of(p, q, ...)    at least one must hold
+    negate(p)            p must fail
+
+Primitive predicate factories cover the vocabulary the built-in types
+use (input/output shape, references, signatures, escrow ownership,
+capability subsets), so the six built-in types could be re-expressed in
+this DSL — and `declarative_type` lets users add new ones at runtime,
+which is exactly the extensibility story of Section 2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.common.errors import ValidationError
+from repro.core.asset import capabilities_satisfied, extract_capabilities
+from repro.core.context import ValidationContext
+from repro.core.transaction import Transaction
+from repro.core.types.common import (
+    validate_transfer_inputs,
+    verify_genesis_inputs,
+    verify_own_signatures,
+)
+
+#: A predicate body: raises ValidationError on failure.
+PredicateFn = Callable[[ValidationContext, Transaction], None]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A named, composable validation condition."""
+
+    label: str
+    check: PredicateFn
+
+    def __call__(self, ctx: ValidationContext, transaction: Transaction) -> None:
+        try:
+            self.check(ctx, transaction)
+        except ValidationError as error:
+            if error.condition is None:
+                raise ValidationError(str(error), self.label) from error
+            raise
+
+    def holds(self, ctx: ValidationContext, transaction: Transaction) -> bool:
+        """Boolean view (used by combinators)."""
+        try:
+            self(ctx, transaction)
+        except ValidationError:
+            return False
+        return True
+
+
+# -- combinators ----------------------------------------------------------------
+
+
+def all_of(*predicates: Predicate, label: str = "all") -> Predicate:
+    """Conjunction: every predicate must hold (evaluated in order)."""
+
+    def check(ctx: ValidationContext, transaction: Transaction) -> None:
+        for predicate in predicates:
+            predicate(ctx, transaction)
+
+    return Predicate(label, check)
+
+
+def any_of(*predicates: Predicate, label: str = "any") -> Predicate:
+    """Disjunction: at least one predicate must hold."""
+
+    def check(ctx: ValidationContext, transaction: Transaction) -> None:
+        failures = []
+        for predicate in predicates:
+            try:
+                predicate(ctx, transaction)
+                return
+            except ValidationError as error:
+                failures.append(str(error))
+        raise ValidationError(
+            "no branch satisfied: " + " | ".join(failures), label
+        )
+
+    return Predicate(label, check)
+
+
+def negate(predicate: Predicate, label: str | None = None) -> Predicate:
+    """Negation: the wrapped predicate must fail."""
+
+    def check(ctx: ValidationContext, transaction: Transaction) -> None:
+        if predicate.holds(ctx, transaction):
+            raise ValidationError(
+                f"negated condition {predicate.label!r} unexpectedly holds",
+                label or f"not({predicate.label})",
+            )
+
+    return Predicate(label or f"not({predicate.label})", check)
+
+
+# -- primitive predicate factories -------------------------------------------------
+
+
+def min_inputs(count: int) -> Predicate:
+    """|I| >= count."""
+
+    def check(ctx: ValidationContext, transaction: Transaction) -> None:
+        if len(transaction.inputs) < count:
+            raise ValidationError(f"requires at least {count} input(s)")
+
+    return Predicate(f"min_inputs({count})", check)
+
+
+def min_references(count: int) -> Predicate:
+    """|R| >= count."""
+
+    def check(ctx: ValidationContext, transaction: Transaction) -> None:
+        if len(transaction.references) < count:
+            raise ValidationError(f"requires at least {count} reference(s)")
+
+    return Predicate(f"min_references({count})", check)
+
+
+def references_committed_operation(operation: str, exactly: int = 1) -> Predicate:
+    """Exactly ``exactly`` references resolve to committed ``operation`` txs."""
+
+    def check(ctx: ValidationContext, transaction: Transaction) -> None:
+        found = 0
+        for reference in transaction.references:
+            payload = ctx.get_tx(reference)
+            if payload is not None and payload.get("operation") == operation:
+                found += 1
+        if found != exactly:
+            raise ValidationError(
+                f"expected exactly {exactly} committed {operation} reference(s), found {found}"
+            )
+
+    return Predicate(f"references({operation}x{exactly})", check)
+
+
+def signatures_valid() -> Predicate:
+    """Every input fulfillment carries a valid owner signature."""
+    return Predicate(
+        "signatures", lambda ctx, transaction: verify_own_signatures(transaction)
+    )
+
+
+def id_integral() -> Predicate:
+    """The transaction id equals its body hash."""
+
+    def check(ctx: ValidationContext, transaction: Transaction) -> None:
+        if not transaction.verify_id():
+            raise ValidationError("transaction id does not match body hash")
+
+    return Predicate("id-integrity", check)
+
+
+def genesis_inputs() -> Predicate:
+    """Inputs spend nothing (CREATE/REQUEST-style)."""
+    return Predicate(
+        "genesis-inputs", lambda ctx, transaction: verify_genesis_inputs(transaction)
+    )
+
+
+def spends_committed_outputs(
+    check_conditions: bool = True, check_balance: bool = True
+) -> Predicate:
+    """The transfer-input rule set (committed, unspent, balanced)."""
+
+    def check(ctx: ValidationContext, transaction: Transaction) -> None:
+        validate_transfer_inputs(
+            ctx,
+            transaction,
+            check_conditions=check_conditions,
+            check_asset_lineage=False,
+            check_balance=check_balance,
+        )
+
+    return Predicate("transfer-inputs", check)
+
+
+def outputs_reserved_only() -> Predicate:
+    """Every output is held by a reserved (escrow/admin) account (CBID.6)."""
+
+    def check(ctx: ValidationContext, transaction: Transaction) -> None:
+        for index, output in enumerate(transaction.outputs):
+            for public_key in output.public_keys:
+                if not ctx.reserved.is_reserved(public_key):
+                    raise ValidationError(f"output {index} must be escrow-held")
+
+    return Predicate("outputs-reserved", check)
+
+
+def asset_covers_request_capabilities() -> Predicate:
+    """CBID.7 as a reusable predicate."""
+
+    def check(ctx: ValidationContext, transaction: Transaction) -> None:
+        request_payload = None
+        for reference in transaction.references:
+            payload = ctx.get_tx(reference)
+            if payload is not None and payload.get("operation") == "REQUEST":
+                request_payload = payload
+                break
+        if request_payload is None:
+            raise ValidationError("no committed REQUEST referenced")
+        asset_id = transaction.asset.get("id")
+        if asset_id is None:
+            raise ValidationError("transaction must link its backing asset")
+        asset_tx = ctx.require_committed(asset_id, "backing asset")
+        requested = extract_capabilities(request_payload.get("asset"))
+        offered = extract_capabilities(asset_tx.get("asset"))
+        if not capabilities_satisfied(requested, offered):
+            raise ValidationError("asset does not cover the requested capabilities")
+
+    return Predicate("capability-subset", check)
+
+
+def metadata_field_present(field: str) -> Predicate:
+    """Metadata must carry a non-null ``field``."""
+
+    def check(ctx: ValidationContext, transaction: Transaction) -> None:
+        metadata = transaction.metadata or {}
+        if metadata.get(field) is None:
+            raise ValidationError(f"metadata field {field!r} is required")
+
+    return Predicate(f"metadata({field})", check)
+
+
+def unique_per_reference(operation: str) -> Predicate:
+    """At most one committed ``operation`` tx may reference each target —
+    e.g. one INTEREST per (supplier, REQUEST)."""
+
+    def check(ctx: ValidationContext, transaction: Transaction) -> None:
+        signer = transaction.inputs[0].owners_before[0] if transaction.inputs else None
+        for reference in transaction.references:
+            existing = ctx._database.collection("transactions").find(
+                {"operation": operation, "references": reference}
+            )
+            for payload in existing:
+                if payload.get("id") == transaction.tx_id:
+                    continue
+                if ctx.signer_of(payload) == signer:
+                    raise ValidationError(
+                        f"{operation} by this account already references "
+                        f"{reference[:8]}..."
+                    )
+
+    return Predicate(f"unique({operation})", check)
+
+
+# -- declarative type assembly -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DeclarativeType:
+    """A transaction type defined purely by a predicate expression.
+
+    Plugs into :class:`~repro.core.validation.TransactionValidator` via
+    ``register`` — the same registry the built-in validators use.
+    """
+
+    operation: str
+    conditions: Predicate
+
+    def validate(self, ctx: ValidationContext, transaction: Transaction) -> None:
+        """Evaluate the composed condition expression."""
+        self.conditions(ctx, transaction)
+
+
+def declarative_type(operation: str, conditions: Sequence[Predicate]) -> DeclarativeType:
+    """Build a :class:`DeclarativeType` from a list of conditions (ANDed)."""
+    return DeclarativeType(
+        operation=operation,
+        conditions=all_of(*conditions, label=f"C_{operation}"),
+    )

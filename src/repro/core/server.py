@@ -1,0 +1,239 @@
+"""The SmartchainDB server: the replicated application behind consensus.
+
+Each validator node runs one :class:`SmartchainServer` — the Python
+"Server" of the paper's architecture (Fig. 4) — owning:
+
+* the node-local document store (MongoDB stand-in) with the SmartchainDB
+  collection layout;
+* the two-phase transaction validator (schema + per-type semantics);
+* the nested-transaction processor (ReturnQueue + recovery log);
+* a calibrated cost model translating real validation work into
+  simulated seconds.
+
+It implements the consensus layer's :class:`~repro.consensus.abci.Application`
+protocol: ``check_tx`` (mempool admission), ``deliver_tx`` (the third
+validation set, stateful), ``commit_block`` (persist + trigger children).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.errors import ValidationError
+from repro.consensus.types import Block, TxEnvelope
+from repro.core.context import ValidationContext
+from repro.core.nested import NestedTransactionProcessor
+from repro.core.transaction import ACCEPT_BID, RETURN
+from repro.core.validation import TransactionValidator
+from repro.crypto.keys import ReservedAccounts
+from repro.sim.clock import SimClock
+from repro.storage.database import Database, make_smartchaindb_database
+
+
+@dataclass
+class ServerCostModel:
+    """Simulated compute costs of the SmartchainDB server (seconds).
+
+    Calibrated against the paper's Experiment 1 operating point
+    (BID latency ~0.1 s, throughput ~43 tps on 4 nodes).  The decisive
+    *structural* property is that per-transaction cost is a constant plus
+    a negligible per-byte term — indexed lookups and built-in caching
+    keep semantic validation independent of payload size, which is why
+    SCDB's curves stay flat as transactions grow (Section 5.2.1).
+    """
+
+    schema_check: float = 0.0006
+    signature_verify: float = 0.0012
+    semantic_base: dict[str, float] = field(
+        default_factory=lambda: {
+            "CREATE": 0.004,
+            "TRANSFER": 0.005,
+            "REQUEST": 0.0045,
+            "BID": 0.0065,
+            "ACCEPT_BID": 0.009,
+            "RETURN": 0.005,
+        }
+    )
+    #: Hashing/serialisation: seconds per payload byte (tiny, flat-ish).
+    per_byte: float = 2.0e-8
+    #: Per-block storage commit: base + per-byte disk write.  A replicated
+    #: MongoDB block write (transactions + assets + utxos + recovery
+    #: bookkeeping) costs tens of milliseconds; pipelining hides it from
+    #: the critical path, which is exactly what the pipelining ablation
+    #: measures.
+    commit_base: float = 0.02
+    commit_per_byte: float = 5.0e-9
+
+    def validation_cost(self, operation: str, size_bytes: int) -> float:
+        base = self.semantic_base.get(operation, 0.005)
+        return self.schema_check + self.signature_verify + base + size_bytes * self.per_byte
+
+    def block_commit_cost(self, size_bytes: int) -> float:
+        return self.commit_base + size_bytes * self.commit_per_byte
+
+
+class SmartchainServer:
+    """One node's application state machine."""
+
+    def __init__(
+        self,
+        node_id: str,
+        reserved: ReservedAccounts,
+        clock: SimClock | None = None,
+        cost_model: ServerCostModel | None = None,
+        indexed_storage: bool = True,
+    ):
+        self.node_id = node_id
+        self.reserved = reserved
+        self.clock = clock or SimClock()
+        self.costs = cost_model or ServerCostModel()
+        self.database: Database = make_smartchaindb_database(
+            name=f"smartchaindb-{node_id}", indexed=indexed_storage
+        )
+        self.validator = TransactionValidator()
+        self.context = ValidationContext(self.database, reserved)
+        self.nested = NestedTransactionProcessor(reserved.escrow, self.database)
+        #: Called for each committed payload (metrics, workflow tracing).
+        self.commit_hooks: list[Callable[[dict[str, Any]], None]] = []
+        self.stats = {
+            "checked": 0,
+            "delivered": 0,
+            "rejected": 0,
+            "committed": 0,
+            "accepts_processed": 0,
+            "returns_confirmed": 0,
+        }
+
+    # -- receiver-node validation (Fig. 4, "Validate Tx") ----------------------
+
+    def receiver_validate(self, payload: dict[str, Any]) -> None:
+        """Full semantic validation at the randomly chosen receiver node.
+
+        Raises:
+            ValidationError / SchemaValidationError on rejection — the
+            Driver surfaces these through its callback.
+        """
+        self.context.now = self.clock.now
+        self.validator.validate(self.context, payload)
+
+    # -- Application protocol ----------------------------------------------------
+
+    def check_tx(self, envelope: TxEnvelope) -> bool:
+        """CheckTx: stateless re-validation before mempool admission."""
+        self.stats["checked"] += 1
+        return self.validator.check_tx(envelope.payload)
+
+    def deliver_tx(self, envelope: TxEnvelope) -> bool:
+        """DeliverTx: the final stateful validation before mutating state."""
+        self.context.now = self.clock.now
+        try:
+            transaction = self.validator.validate_semantics(self.context, envelope.payload)
+        except ValidationError:
+            self.stats["rejected"] += 1
+            return False
+        self.context.stage(transaction.to_dict())
+        self.stats["delivered"] += 1
+        return True
+
+    def commit_block(self, block: Block, delivered: list[TxEnvelope]) -> None:
+        """Persist the block and its transactions; trigger nested children."""
+        transactions = self.database.collection("transactions")
+        assets = self.database.collection("assets")
+        utxos = self.database.collection("utxos")
+        blocks = self.database.collection("blocks")
+
+        blocks.insert_one(
+            {
+                "height": block.height,
+                "block_id": block.block_id,
+                "proposer": block.proposer,
+                "transaction_ids": [envelope.tx_id for envelope in delivered],
+            }
+        )
+        accepted_payloads: list[dict[str, Any]] = []
+        for envelope in delivered:
+            payload = envelope.payload
+            transactions.insert_one(payload)
+            asset = payload.get("asset") or {}
+            if "data" in asset:
+                assets.insert_one({"id": payload["id"], "data": asset.get("data")})
+            # UTXO maintenance: consume spent refs, add fresh outputs.
+            for item in payload.get("inputs", []):
+                fulfills = item.get("fulfills")
+                if fulfills:
+                    utxos.delete_many(
+                        {
+                            "transaction_id": fulfills["transaction_id"],
+                            "output_index": fulfills["output_index"],
+                        }
+                    )
+            for index, output in enumerate(payload.get("outputs", [])):
+                utxos.insert_one(
+                    {
+                        "transaction_id": payload["id"],
+                        "output_index": index,
+                        "public_keys": output.get("public_keys", []),
+                        "amount": output.get("amount"),
+                    }
+                )
+            if payload.get("operation") == ACCEPT_BID:
+                accepted_payloads.append(payload)
+            elif payload.get("operation") == RETURN:
+                self.nested.on_return_committed(payload)
+                self.stats["returns_confirmed"] += 1
+            self.stats["committed"] += 1
+
+        self.context.clear_staged()
+
+        # Non-locking nested processing: children are determined *after*
+        # the parent is durably committed (Algorithm 3, Commit part).
+        for payload in accepted_payloads:
+            metadata = payload.get("metadata") or {}
+            rfq_id = metadata.get("rfq_id") or (payload.get("references") or [None])[0]
+            if rfq_id is None:
+                continue
+            locked = self.context.locked_bids(rfq_id)
+            self.nested.on_accept_committed(payload, locked)
+            self.stats["accepts_processed"] += 1
+
+        for envelope in delivered:
+            for hook in self.commit_hooks:
+                hook(envelope.payload)
+
+    # -- cost model --------------------------------------------------------------
+
+    def execution_cost(self, envelope: TxEnvelope) -> float:
+        operation = envelope.payload.get("operation", "TRANSFER")
+        return self.costs.validation_cost(operation, envelope.size_bytes)
+
+    def commit_cost(self, block: Block) -> float:
+        return self.costs.block_commit_cost(block.size_bytes)
+
+    # -- queries (the "reliable queryability" the storage model enables) -----------
+
+    def get_transaction(self, tx_id: str) -> dict[str, Any] | None:
+        return self.database.collection("transactions").find_one({"id": tx_id})
+
+    def open_requests(self, capability: str | None = None) -> list[dict[str, Any]]:
+        """Open RFQs, optionally filtered by requested capability —
+        the query the paper's Section 2.1 laments smart contracts cannot
+        answer ("finding open service requests for 3-D printing")."""
+        requests = self.database.collection("transactions").find({"operation": "REQUEST"})
+        open_requests = []
+        for request in requests:
+            if self.context.accept_for_request(request["id"]) is not None:
+                continue
+            if capability is not None:
+                data = (request.get("asset") or {}).get("data") or {}
+                if capability not in (data.get("capabilities") or []):
+                    continue
+            open_requests.append(request)
+        return open_requests
+
+    def bids_for(self, request_id: str) -> list[dict[str, Any]]:
+        return self.context.bids_for_request(request_id)
+
+    def outputs_for(self, public_key: str) -> list[dict[str, Any]]:
+        """Unspent outputs held by an account (wallet view)."""
+        return self.database.collection("utxos").find({"public_keys": public_key})

@@ -1,0 +1,27 @@
+"""Per-type semantic validators (the C_alpha condition sets)."""
+
+from repro.core.types.accept_bid import AcceptBidValidator
+from repro.core.types.bid import BidValidator
+from repro.core.types.common import (
+    spent_output,
+    validate_transfer_inputs,
+    verify_genesis_inputs,
+    verify_own_signatures,
+)
+from repro.core.types.create import CreateValidator
+from repro.core.types.request import RequestValidator
+from repro.core.types.return_tx import ReturnValidator
+from repro.core.types.transfer import TransferValidator
+
+__all__ = [
+    "AcceptBidValidator",
+    "BidValidator",
+    "CreateValidator",
+    "RequestValidator",
+    "ReturnValidator",
+    "TransferValidator",
+    "spent_output",
+    "validate_transfer_inputs",
+    "verify_genesis_inputs",
+    "verify_own_signatures",
+]

@@ -1,0 +1,133 @@
+"""BID type: ``tau_BID`` (Definition 3, Algorithm 2).
+
+A BID answers a REQUEST by escrowing an asset.  Each numbered check
+below is the corresponding boolean condition of C_BID in the paper; the
+`validate` entry point sequences them exactly like ``validateTBID``.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import (
+    InputDoesNotExistError,
+    InsufficientCapabilitiesError,
+    ValidationError,
+)
+from repro.core.asset import capabilities_satisfied, extract_capabilities
+from repro.core.context import ValidationContext
+from repro.core.transaction import REQUEST, Transaction
+from repro.core.types.common import validate_transfer_inputs, verify_own_signatures
+
+
+class BidValidator:
+    """The eight C_BID conditions plus Algorithm 2's capability check."""
+
+    operation = "BID"
+
+    def validate(self, ctx: ValidationContext, transaction: Transaction) -> None:
+        """``validateTBID``: raise on the first violated condition."""
+        self.check_c1(transaction)
+        self.check_c2(transaction)
+        request_payload = self.check_c3(ctx, transaction)
+        self.check_c5(transaction)
+        self.check_c6(ctx, transaction)
+        self.check_deadline(ctx, request_payload)
+        self.check_c7(ctx, transaction, request_payload)
+        # C4 and C8 are established by the transfer-input rules: every
+        # input must spend a committed output with a positive amount.
+        total = validate_transfer_inputs(ctx, transaction)
+        self.check_c4(total)
+
+    def check_c1(self, transaction: Transaction) -> None:
+        """CBID.1: |I| >= 1."""
+        if len(transaction.inputs) < 1:
+            raise ValidationError("BID requires at least one input", "CBID.1")
+
+    def check_c2(self, transaction: Transaction) -> None:
+        """CBID.2: |R| >= 1."""
+        if len(transaction.references) < 1:
+            raise ValidationError("BID must reference a REQUEST", "CBID.2")
+
+    def check_c3(self, ctx: ValidationContext, transaction: Transaction) -> dict:
+        """CBID.3: exactly one committed REQUEST in the reference vector.
+
+        Returns the REQUEST payload (Algorithm 2 line 1: ``getTxFromDB``).
+
+        Raises:
+            InputDoesNotExistError: if the referenced REQUEST is not
+                committed (Algorithm 2 lines 3-4).
+        """
+        requests = []
+        for reference in transaction.references:
+            payload = ctx.get_tx(reference)
+            if payload is not None and payload.get("operation") == REQUEST:
+                requests.append(payload)
+        if len(requests) != 1:
+            if not requests:
+                raise InputDoesNotExistError(
+                    "BID references no committed REQUEST transaction"
+                )
+            raise ValidationError(
+                f"BID references {len(requests)} REQUESTs; exactly 1 required", "CBID.3"
+            )
+        return requests[0]
+
+    def check_c4(self, total_spent: int) -> None:
+        """CBID.4: at least one input carries a non-null asset amount."""
+        if total_spent <= 0:
+            raise ValidationError("BID must escrow a positive asset amount", "CBID.4")
+
+    def check_c5(self, transaction: Transaction) -> None:
+        """CBID.5: every input signature verifies."""
+        verify_own_signatures(transaction)
+
+    def check_c6(self, ctx: ValidationContext, transaction: Transaction) -> None:
+        """CBID.6: every output is owned by a reserved (escrow) account.
+
+        Algorithm 2 lines 5-7.
+        """
+        for index, output in enumerate(transaction.outputs):
+            for public_key in output.public_keys:
+                if not ctx.reserved.is_reserved(public_key):
+                    raise ValidationError(
+                        f"BID output {index} must be held by the escrow account",
+                        "CBID.6",
+                    )
+
+    def check_c7(
+        self,
+        ctx: ValidationContext,
+        transaction: Transaction,
+        request_payload: dict,
+    ) -> None:
+        """CBID.7: requested capabilities subset of the bid asset's.
+
+        Algorithm 2 lines 8-11: fetch both capability sets and compare.
+
+        Raises:
+            InsufficientCapabilitiesError: on a shortfall, naming the
+                missing capabilities.
+        """
+        asset_id = transaction.asset.get("id")
+        if asset_id is None:
+            raise ValidationError("BID must link the asset backing the bid", "CBID.7")
+        asset_tx = ctx.require_committed(asset_id, "bid asset")
+        requested = extract_capabilities(request_payload.get("asset"))
+        offered = extract_capabilities(asset_tx.get("asset"))
+        if not capabilities_satisfied(requested, offered):
+            missing = sorted(set(requested) - set(offered))
+            raise InsufficientCapabilitiesError(
+                f"bid asset lacks requested capabilities: {missing}"
+            )
+
+    def check_deadline(self, ctx: ValidationContext, request_payload: dict) -> None:
+        """Reject bids on expired requests (deadline extension)."""
+        metadata = request_payload.get("metadata") or {}
+        deadline = metadata.get("deadline")
+        if deadline is None:
+            return
+        if isinstance(deadline, (int, float)) and not isinstance(deadline, bool):
+            if ctx.now > deadline:
+                raise ValidationError(
+                    f"REQUEST deadline {deadline} has passed (now={ctx.now})",
+                    "CBID.deadline",
+                )

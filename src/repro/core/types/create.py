@@ -1,0 +1,49 @@
+"""CREATE type: ``tau_CREATE``."""
+
+from __future__ import annotations
+
+from repro.common.errors import AmountError, ValidationError
+from repro.core.context import ValidationContext
+from repro.core.transaction import Transaction
+from repro.core.types.common import verify_genesis_inputs, verify_own_signatures
+
+
+class CreateValidator:
+    """Conditions for minting a new asset.
+
+    C_CREATE:
+      1. inputs spend nothing (the asset is born here);
+      2. every input signature verifies;
+      3. the asset carries an inline data document;
+      4. every output amount is >= 1;
+      5. the transaction id is the hash of its body (tamper evidence).
+    """
+
+    operation = "CREATE"
+
+    def validate(self, ctx: ValidationContext, transaction: Transaction) -> None:
+        """Raise on the first violated condition."""
+        self.check_c1(transaction)
+        self.check_c2(transaction)
+        self.check_c3(transaction)
+        self.check_c4(transaction)
+        self.check_c5(transaction)
+
+    def check_c1(self, transaction: Transaction) -> None:
+        verify_genesis_inputs(transaction)
+
+    def check_c2(self, transaction: Transaction) -> None:
+        verify_own_signatures(transaction)
+
+    def check_c3(self, transaction: Transaction) -> None:
+        data = transaction.asset.get("data")
+        if not isinstance(data, dict):
+            raise ValidationError("CREATE asset must carry a data document", "CCREATE.3")
+
+    def check_c4(self, transaction: Transaction) -> None:
+        if any(output.amount < 1 for output in transaction.outputs):
+            raise AmountError("CREATE output amounts must be >= 1")
+
+    def check_c5(self, transaction: Transaction) -> None:
+        if not transaction.verify_id():
+            raise ValidationError("transaction id does not match body hash", "CCREATE.5")

@@ -1,0 +1,63 @@
+"""REQUEST type: ``tau_REQUEST`` — post an RFQ into the marketplace."""
+
+from __future__ import annotations
+
+from repro.common.errors import ValidationError
+from repro.core.asset import extract_capabilities
+from repro.core.context import ValidationContext
+from repro.core.transaction import Transaction
+from repro.core.types.common import verify_genesis_inputs, verify_own_signatures
+
+
+class RequestValidator:
+    """Conditions for publishing a request-for-quotes.
+
+    C_REQUEST:
+      1. inputs spend nothing (a request consumes no asset);
+      2. signatures verify;
+      3. the asset data declares a non-empty capability list — the
+         requested manufacturing capabilities BIDs are matched against;
+      4. the id matches the body hash;
+      5. optional deadline metadata, when present, must be a number
+         strictly in the future of the validating node's clock.
+    """
+
+    operation = "REQUEST"
+
+    def validate(self, ctx: ValidationContext, transaction: Transaction) -> None:
+        """Raise on the first violated condition."""
+        self.check_c1(transaction)
+        self.check_c2(transaction)
+        self.check_c3(transaction)
+        self.check_c4(transaction)
+        self.check_c5(ctx, transaction)
+
+    def check_c1(self, transaction: Transaction) -> None:
+        verify_genesis_inputs(transaction)
+
+    def check_c2(self, transaction: Transaction) -> None:
+        verify_own_signatures(transaction)
+
+    def check_c3(self, transaction: Transaction) -> None:
+        capabilities = extract_capabilities(transaction.asset)
+        if not capabilities:
+            raise ValidationError(
+                "REQUEST must declare at least one requested capability", "CREQUEST.3"
+            )
+
+    def check_c4(self, transaction: Transaction) -> None:
+        if not transaction.verify_id():
+            raise ValidationError("transaction id does not match body hash", "CREQUEST.4")
+
+    def check_c5(self, ctx: ValidationContext, transaction: Transaction) -> None:
+        metadata = transaction.metadata or {}
+        deadline = metadata.get("deadline")
+        if deadline is None:
+            return
+        if not isinstance(deadline, (int, float)) or isinstance(deadline, bool):
+            raise ValidationError("REQUEST deadline must be a number", "CREQUEST.5")
+        if deadline <= ctx.now:
+            raise ValidationError(
+                f"REQUEST deadline {deadline} is not in the future (now={ctx.now})",
+                "CREQUEST.5",
+            )

@@ -1,0 +1,80 @@
+"""RETURN type: system-issued children of ACCEPT_BID (Section 4.2).
+
+A RETURN sends an unaccepted bid's escrow-held asset back to the original
+bidder.  It is signed by the escrow account (the server holds that key)
+and must be traceable to a committed ACCEPT_BID.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ValidationError
+from repro.core.context import ValidationContext
+from repro.core.transaction import Transaction
+from repro.core.types.common import validate_transfer_inputs, verify_own_signatures
+
+
+class ReturnValidator:
+    """Conditions for returning a losing bid from escrow.
+
+    C_RETURN:
+      1. references name the losing BID and the parent ACCEPT_BID, both
+         committed;
+      2. signatures verify (the escrow key authorises the spend);
+      3. the spent output is the losing bid's escrow output;
+      4. the sole output re-assigns the asset to the bid's recorded
+         original owner (``owners_before`` — CACCEPT_BID.8's pb_prev);
+      5. transfer-input rules hold (committed, unspent, balanced).
+    """
+
+    operation = "RETURN"
+
+    def validate(self, ctx: ValidationContext, transaction: Transaction) -> None:
+        """Raise on the first violated condition."""
+        bid_payload, _ = self.check_c1(ctx, transaction)
+        self.check_c2(transaction)
+        self.check_c3(transaction, bid_payload)
+        self.check_c4(transaction, bid_payload)
+        validate_transfer_inputs(
+            ctx, transaction, check_conditions=True, check_asset_lineage=False
+        )
+
+    def check_c1(self, ctx: ValidationContext, transaction: Transaction):
+        if len(transaction.references) < 2:
+            raise ValidationError(
+                "RETURN must reference the losing BID and its ACCEPT_BID", "CRETURN.1"
+            )
+        bid_id, accept_id = transaction.references[0], transaction.references[1]
+        bid_payload = ctx.get_tx(bid_id)
+        accept_payload = ctx.get_tx(accept_id)
+        if bid_payload is None or bid_payload.get("operation") != "BID":
+            raise ValidationError("RETURN reference 0 must be a committed BID", "CRETURN.1")
+        if accept_payload is None or accept_payload.get("operation") != "ACCEPT_BID":
+            raise ValidationError(
+                "RETURN reference 1 must be a committed ACCEPT_BID", "CRETURN.1"
+            )
+        return bid_payload, accept_payload
+
+    def check_c2(self, transaction: Transaction) -> None:
+        verify_own_signatures(transaction)
+
+    def check_c3(self, transaction: Transaction, bid_payload: dict) -> None:
+        refs = transaction.spent_refs()
+        if len(refs) != 1 or refs[0].transaction_id != bid_payload["id"]:
+            raise ValidationError(
+                "RETURN must spend exactly the losing bid's escrow output", "CRETURN.3"
+            )
+
+    def check_c4(self, transaction: Transaction, bid_payload: dict) -> None:
+        escrow_output = (bid_payload.get("outputs") or [{}])[0]
+        original = escrow_output.get("owners_before") or []
+        if not original:
+            raise ValidationError(
+                "losing BID recorded no original bidder", "CRETURN.4"
+            )
+        if len(transaction.outputs) != 1:
+            raise ValidationError("RETURN must have exactly one output", "CRETURN.4")
+        recipient_keys = set(transaction.outputs[0].public_keys)
+        if not recipient_keys & set(original):
+            raise ValidationError(
+                "RETURN output does not go back to the original bidder", "CRETURN.4"
+            )

@@ -1,0 +1,43 @@
+"""TRANSFER type: ``tau_TRANSFER`` — the classic native primitive."""
+
+from __future__ import annotations
+
+from repro.common.errors import ValidationError
+from repro.core.context import ValidationContext
+from repro.core.transaction import Transaction
+from repro.core.types.common import validate_transfer_inputs, verify_own_signatures
+
+
+class TransferValidator:
+    """Conditions for moving asset shares between accounts.
+
+    C_TRANSFER:
+      1. at least one input, each spending a committed, unspent output;
+      2. each spent output's condition is satisfied by the input's
+         fulfillment (current owners authorise);
+      3. all spent outputs belong to the declared asset lineage;
+      4. spent shares == produced shares (no inflation);
+      5. input signatures verify;
+      6. the id matches the body hash.
+
+    Native TRANSFER "automatically handles validation against errors like
+    double-spending" (Section 2.1) — rule 1's unspent check is exactly
+    that, applied by the platform instead of user contract code.
+    """
+
+    operation = "TRANSFER"
+
+    def validate(self, ctx: ValidationContext, transaction: Transaction) -> None:
+        """Raise on the first violated condition."""
+        self.check_c6(transaction)
+        self.check_c5(transaction)
+        if "id" not in transaction.asset:
+            raise ValidationError("TRANSFER must link an existing asset", "CTRANSFER.3")
+        validate_transfer_inputs(ctx, transaction)
+
+    def check_c5(self, transaction: Transaction) -> None:
+        verify_own_signatures(transaction)
+
+    def check_c6(self, transaction: Transaction) -> None:
+        if not transaction.verify_id():
+            raise ValidationError("transaction id does not match body hash", "CTRANSFER.6")

@@ -1,0 +1,114 @@
+"""Validation orchestrator: typing scheme dispatch.
+
+Implements the paper's typing scheme ``tau_alpha = <T_alpha, C_alpha>``:
+a transaction is valid with respect to its type iff it meets *all* the
+type's conditions.  The orchestrator layers the two phases of Fig. 4:
+
+1. **Schema validation** (Algorithm 1) — structure against the YAML
+   schema, via :mod:`repro.schema`.
+2. **Semantic validation** — the per-type ``validateT_alpha`` methods,
+   via the registered :mod:`repro.core.types` validators.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol
+
+from repro.common.errors import SchemaValidationError, ValidationError
+from repro.core.context import ValidationContext
+from repro.core.transaction import Transaction
+from repro.core.types import (
+    AcceptBidValidator,
+    BidValidator,
+    CreateValidator,
+    RequestValidator,
+    ReturnValidator,
+    TransferValidator,
+)
+from repro.schema import SchemaRegistry, default_registry
+
+
+class TypeValidator(Protocol):
+    """A per-type semantic validator."""
+
+    operation: str
+
+    def validate(self, ctx: ValidationContext, transaction: Transaction) -> None: ...
+
+
+class TransactionValidator:
+    """Schema + semantic validation for every registered type.
+
+    Extensible by design: :meth:`register` adds new declarative types at
+    runtime (the paper's "hope is that this set can be extended over
+    time").
+    """
+
+    def __init__(self, schema_registry: SchemaRegistry | None = None):
+        self._schemas = schema_registry or default_registry()
+        self._validators: dict[str, TypeValidator] = {}
+        for validator in (
+            CreateValidator(),
+            TransferValidator(),
+            RequestValidator(),
+            BidValidator(),
+            AcceptBidValidator(),
+            ReturnValidator(),
+        ):
+            self.register(validator)
+
+    def register(self, validator: TypeValidator) -> None:
+        """Register (or replace) the validator for an operation."""
+        self._validators[validator.operation] = validator
+
+    def operations(self) -> list[str]:
+        """All operations with a registered semantic validator."""
+        return sorted(self._validators)
+
+    # -- phases -----------------------------------------------------------------
+
+    def validate_schema(self, payload: dict[str, Any]) -> None:
+        """Phase 1 (Algorithm 1).
+
+        Raises:
+            SchemaValidationError on structural violations.
+        """
+        self._schemas.validate_transaction(payload)
+
+    def validate_semantics(self, ctx: ValidationContext, payload: dict[str, Any]) -> Transaction:
+        """Phase 2: the type's C_alpha conditions.  Returns the parsed tx.
+
+        Raises:
+            ValidationError (or a subclass) on the first violated condition.
+        """
+        transaction = Transaction.from_dict(payload)
+        validator = self._validators.get(transaction.operation)
+        if validator is None:
+            raise ValidationError(
+                f"no semantic validator registered for {transaction.operation!r}"
+            )
+        if not transaction.verify_id():
+            raise ValidationError("transaction id does not match body hash", "integrity")
+        validator.validate(ctx, transaction)
+        return transaction
+
+    def validate(self, ctx: ValidationContext, payload: dict[str, Any]) -> Transaction:
+        """Both phases in order (receiver-node validation of Fig. 4)."""
+        self.validate_schema(payload)
+        return self.validate_semantics(ctx, payload)
+
+    def check_tx(self, payload: dict[str, Any]) -> bool:
+        """Mempool-grade stateless check (schema + id + signatures).
+
+        This is the CheckTx re-validation other validators run to confirm
+        "the validator node did not tamper the transaction" (Fig. 4) —
+        it needs no ledger state.
+        """
+        try:
+            self.validate_schema(payload)
+            transaction = Transaction.from_dict(payload)
+            if not transaction.verify_id():
+                return False
+            return transaction.verify_signatures()
+        except (SchemaValidationError, ValidationError):
+            return False

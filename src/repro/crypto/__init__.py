@@ -1,0 +1,41 @@
+"""Cryptographic substrate: Ed25519, hashing, conditions, key management."""
+
+from repro.crypto.conditions import (
+    ED25519_TYPE,
+    THRESHOLD_TYPE,
+    Condition,
+    Fulfillment,
+    multisignature_string,
+)
+from repro.crypto.hashing import (
+    SHA3_HEXDIGEST_PATTERN,
+    hash_document,
+    is_sha3_hexdigest,
+    keccak_like_slot,
+    sha3_256_hex,
+)
+from repro.crypto.keys import (
+    KeyPair,
+    ReservedAccounts,
+    generate_keypair,
+    keypair_from_string,
+    verify_signature,
+)
+
+__all__ = [
+    "ED25519_TYPE",
+    "THRESHOLD_TYPE",
+    "Condition",
+    "Fulfillment",
+    "KeyPair",
+    "ReservedAccounts",
+    "SHA3_HEXDIGEST_PATTERN",
+    "generate_keypair",
+    "hash_document",
+    "is_sha3_hexdigest",
+    "keccak_like_slot",
+    "keypair_from_string",
+    "multisignature_string",
+    "sha3_256_hex",
+    "verify_signature",
+]

@@ -1,0 +1,245 @@
+"""Pure-Python Ed25519 (RFC 8032).
+
+BigchainDB signs transaction payloads with Ed25519 keys.  This module is a
+self-contained implementation of the signature scheme over the twisted
+Edwards curve edwards25519, using extended homogeneous coordinates for
+group arithmetic.  It is deliberately free of third-party dependencies;
+``hashlib.sha512`` is the only primitive it borrows.
+
+The implementation favours clarity over constant-time guarantees — it is a
+research reproduction, not a hardened production signer — but it is fully
+interoperable: signatures verify against the RFC 8032 test vectors (see
+``tests/crypto/test_ed25519.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import NamedTuple
+
+from repro.common.errors import InvalidKeyError, InvalidSignatureError
+
+# Curve constants for edwards25519 (RFC 8032, section 5.1).
+P = 2**255 - 19
+L = 2**252 + 27742317777372353535851937790883648493
+D = (-121665 * pow(121666, P - 2, P)) % P
+
+#: Sign bit mask for point encoding.
+_SIGN_BIT = 1 << 255
+
+
+class _Point(NamedTuple):
+    """A curve point in extended homogeneous coordinates (X, Y, Z, T)."""
+
+    x: int
+    y: int
+    z: int
+    t: int
+
+
+def _point_add(a: _Point, b: _Point) -> _Point:
+    """Add two points (RFC 8032 'add' on extended coordinates)."""
+    aa = (a.y - a.x) * (b.y - b.x) % P
+    bb = (a.y + a.x) * (b.y + b.x) % P
+    cc = 2 * a.t * b.t * D % P
+    dd = 2 * a.z * b.z % P
+    e = bb - aa
+    f = dd - cc
+    g = dd + cc
+    h = bb + aa
+    return _Point(e * f % P, g * h % P, f * g % P, e * h % P)
+
+
+def _point_double(a: _Point) -> _Point:
+    """Double a point using the dedicated doubling formula."""
+    aa = a.x * a.x % P
+    bb = a.y * a.y % P
+    cc = 2 * a.z * a.z % P
+    h = (aa + bb) % P
+    e = (h - (a.x + a.y) * (a.x + a.y)) % P
+    g = (aa - bb) % P
+    f = (cc + g) % P
+    return _Point(e * f % P, g * h % P, f * g % P, e * h % P)
+
+
+_IDENTITY = _Point(0, 1, 1, 0)
+
+
+def _scalar_mult(point: _Point, scalar: int) -> _Point:
+    """Double-and-add scalar multiplication."""
+    result = _IDENTITY
+    addend = point
+    while scalar > 0:
+        if scalar & 1:
+            result = _point_add(result, addend)
+        addend = _point_double(addend)
+        scalar >>= 1
+    return result
+
+
+def _recover_x(y: int, sign: int) -> int:
+    """Recover the x coordinate of a point from y and the sign bit.
+
+    Raises:
+        InvalidKeyError: if no square root exists (point not on curve).
+    """
+    if y >= P:
+        raise InvalidKeyError("y coordinate out of range")
+    x2 = (y * y - 1) * pow(D * y * y + 1, P - 2, P) % P
+    if x2 == 0:
+        if sign:
+            raise InvalidKeyError("invalid sign bit for x = 0")
+        return 0
+    # Square root via the p = 5 (mod 8) shortcut.
+    x = pow(x2, (P + 3) // 8, P)
+    if (x * x - x2) % P != 0:
+        x = x * pow(2, (P - 1) // 4, P) % P
+    if (x * x - x2) % P != 0:
+        raise InvalidKeyError("point is not on the curve")
+    if (x & 1) != sign:
+        x = P - x
+    return x
+
+
+# Base point B (RFC 8032 section 5.1).
+_BASE_Y = 4 * pow(5, P - 2, P) % P
+_BASE_X = _recover_x(_BASE_Y, 0)
+_BASE = _Point(_BASE_X, _BASE_Y, 1, _BASE_X * _BASE_Y % P)
+
+# Precomputed table of B * 2^(4i) multiples for 4-bit windowed multiplication
+# of the base point; signing performance matters because the benchmark
+# harness signs hundreds of thousands of transactions.
+_WINDOW_BITS = 4
+_TABLE: list[list[_Point]] = []
+_current = _BASE
+for _ in range(64):  # 256 bits / 4 bits per window
+    row = [_IDENTITY]
+    for _i in range(1, 16):
+        row.append(_point_add(row[-1], _current))
+    _TABLE.append(row)
+    for _i in range(_WINDOW_BITS):
+        _current = _point_double(_current)
+
+
+def _base_mult(scalar: int) -> _Point:
+    """Multiply the base point by ``scalar`` using the precomputed table."""
+    result = _IDENTITY
+    window = 0
+    while scalar > 0:
+        nibble = scalar & 0xF
+        if nibble:
+            result = _point_add(result, _TABLE[window][nibble])
+        scalar >>= 4
+        window += 1
+    return result
+
+
+def _point_compress(point: _Point) -> bytes:
+    """Encode a point to its 32-byte compressed form."""
+    z_inv = pow(point.z, P - 2, P)
+    x = point.x * z_inv % P
+    y = point.y * z_inv % P
+    return int.to_bytes(y | ((x & 1) << 255), 32, "little")
+
+
+def _point_decompress(data: bytes) -> _Point:
+    """Decode a 32-byte compressed point.
+
+    Raises:
+        InvalidKeyError: on malformed encodings or off-curve points.
+    """
+    if len(data) != 32:
+        raise InvalidKeyError("compressed point must be 32 bytes")
+    y = int.from_bytes(data, "little")
+    sign = y >> 255
+    y &= (1 << 255) - 1
+    x = _recover_x(y, sign)
+    return _Point(x, y, 1, x * y % P)
+
+
+def _points_equal(a: _Point, b: _Point) -> bool:
+    """Projective equality: X1*Z2 == X2*Z1 and Y1*Z2 == Y2*Z1."""
+    if (a.x * b.z - b.x * a.z) % P != 0:
+        return False
+    return (a.y * b.z - b.y * a.z) % P == 0
+
+
+def _sha512_int(*parts: bytes) -> int:
+    digest = hashlib.sha512(b"".join(parts)).digest()
+    return int.from_bytes(digest, "little")
+
+
+def _clamp(seed_hash: bytes) -> int:
+    scalar = int.from_bytes(seed_hash[:32], "little")
+    scalar &= (1 << 254) - 8
+    scalar |= 1 << 254
+    return scalar
+
+
+def public_key_from_seed(seed: bytes) -> bytes:
+    """Derive the 32-byte public key from a 32-byte private seed.
+
+    Raises:
+        InvalidKeyError: if the seed is not exactly 32 bytes.
+    """
+    if len(seed) != 32:
+        raise InvalidKeyError("Ed25519 seed must be 32 bytes")
+    scalar = _clamp(hashlib.sha512(seed).digest())
+    return _point_compress(_base_mult(scalar))
+
+
+def sign(seed: bytes, message: bytes) -> bytes:
+    """Produce a 64-byte RFC 8032 signature of ``message``.
+
+    Args:
+        seed: the signer's 32-byte private seed.
+        message: arbitrary bytes to sign.
+
+    Raises:
+        InvalidKeyError: if the seed is malformed.
+    """
+    if len(seed) != 32:
+        raise InvalidKeyError("Ed25519 seed must be 32 bytes")
+    seed_hash = hashlib.sha512(seed).digest()
+    scalar = _clamp(seed_hash)
+    prefix = seed_hash[32:]
+    public = _point_compress(_base_mult(scalar))
+
+    r = _sha512_int(prefix, message) % L
+    r_point = _point_compress(_base_mult(r))
+    challenge = _sha512_int(r_point, public, message) % L
+    s = (r + challenge * scalar) % L
+    return r_point + int.to_bytes(s, 32, "little")
+
+
+def verify(public_key: bytes, message: bytes, signature: bytes) -> bool:
+    """Check a signature; returns ``True`` iff it is valid.
+
+    Malformed keys/signatures return ``False`` rather than raising, so the
+    validation pipeline can treat all failures uniformly.
+    """
+    if len(public_key) != 32 or len(signature) != 64:
+        return False
+    try:
+        a_point = _point_decompress(public_key)
+        r_point = _point_decompress(signature[:32])
+    except InvalidKeyError:
+        return False
+    s = int.from_bytes(signature[32:], "little")
+    if s >= L:
+        return False
+    challenge = _sha512_int(signature[:32], public_key, message) % L
+    # Check s*B == R + h*A.
+    left = _base_mult(s)
+    right = _point_add(r_point, _scalar_mult(a_point, challenge))
+    return _points_equal(left, right)
+
+
+def verify_strict(public_key: bytes, message: bytes, signature: bytes) -> None:
+    """Like :func:`verify` but raises on failure.
+
+    Raises:
+        InvalidSignatureError: if verification fails for any reason.
+    """
+    if not verify(public_key, message, signature):
+        raise InvalidSignatureError("Ed25519 signature verification failed")

@@ -1,0 +1,47 @@
+"""Hashing helpers.
+
+Transaction ids in BigchainDB (and therefore SmartchainDB) are the SHA3-256
+hex digest of the canonically serialised transaction body — the schema in
+Fig. 5 of the paper constrains ``id`` to a ``sha3_hexdigest`` pattern.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import Any
+
+from repro.common.encoding import canonical_bytes
+
+#: Pattern enforced by the transaction schema for ids (64 lowercase hex chars).
+SHA3_HEXDIGEST_PATTERN = re.compile(r"^[0-9a-f]{64}$")
+
+
+def sha3_256_hex(data: bytes) -> str:
+    """Hex digest of SHA3-256 over raw bytes."""
+    return hashlib.sha3_256(data).hexdigest()
+
+
+def hash_document(document: Any) -> str:
+    """SHA3-256 hex digest of a JSON-like document in canonical form.
+
+    This is the transaction-id function: two structurally identical
+    documents always hash identically regardless of key order.
+    """
+    return sha3_256_hex(canonical_bytes(document))
+
+
+def is_sha3_hexdigest(value: Any) -> bool:
+    """True if ``value`` looks like a SHA3-256 hex digest."""
+    return isinstance(value, str) and bool(SHA3_HEXDIGEST_PATTERN.match(value))
+
+
+def keccak_like_slot(data: bytes) -> int:
+    """Map bytes to a 256-bit storage-slot index for the EVM baseline.
+
+    Real Solidity uses keccak-256 to place mapping entries among 2**256
+    slots; the standard library lacks keccak, so SHA3-256 stands in.  The
+    property the evaluation relies on — uniformly scattered slots with no
+    locality — is preserved.
+    """
+    return int.from_bytes(hashlib.sha3_256(data).digest(), "big")

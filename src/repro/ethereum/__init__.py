@@ -1,0 +1,54 @@
+"""ETH-SC baseline: gas-metered contract runtime on a Quorum-style chain."""
+
+from repro.ethereum.auction import ReverseAuctionMarketplace, compare_strings, estimate_gas
+from repro.ethereum.chain import (
+    EthApplication,
+    EthTxRecord,
+    QuorumChain,
+    QuorumChainConfig,
+)
+from repro.ethereum.client import Web3Client
+from repro.ethereum.contract import CallContext, Contract, EvmRuntime, ExecutionResult
+from repro.ethereum.evmstate import Account, StorageView, WorldState
+from repro.ethereum.gas import (
+    DEFAULT_TX_GAS_LIMIT,
+    G_TRANSACTION,
+    GAS_PER_SECOND,
+    GasMeter,
+    calldata_gas,
+    execution_seconds,
+    keccak_gas,
+)
+from repro.ethereum.solidity_source import (
+    REVERSE_AUCTION_SOLIDITY,
+    SMARTCHAINDB_USER_LOC,
+    count_code_lines,
+)
+
+__all__ = [
+    "Account",
+    "CallContext",
+    "Contract",
+    "DEFAULT_TX_GAS_LIMIT",
+    "EthApplication",
+    "EthTxRecord",
+    "EvmRuntime",
+    "ExecutionResult",
+    "G_TRANSACTION",
+    "GAS_PER_SECOND",
+    "GasMeter",
+    "QuorumChain",
+    "QuorumChainConfig",
+    "REVERSE_AUCTION_SOLIDITY",
+    "ReverseAuctionMarketplace",
+    "SMARTCHAINDB_USER_LOC",
+    "StorageView",
+    "Web3Client",
+    "WorldState",
+    "calldata_gas",
+    "compare_strings",
+    "count_code_lines",
+    "estimate_gas",
+    "execution_seconds",
+    "keccak_gas",
+]

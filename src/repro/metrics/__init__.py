@@ -1,0 +1,13 @@
+"""Latency/throughput metrics (paper Section 5.1.4) and report rendering."""
+
+from repro.metrics.collector import OperationStats, RunMetrics, collect_metrics
+from repro.metrics.report import format_series, format_table, ratio
+
+__all__ = [
+    "OperationStats",
+    "RunMetrics",
+    "collect_metrics",
+    "format_series",
+    "format_table",
+    "ratio",
+]

@@ -1,0 +1,105 @@
+"""Metric calculation (paper Section 5.1.4).
+
+* **Latency** — "time elapsed from the moment the transaction was
+  received to its final commitment", averaged per transaction type.
+* **Throughput** — "the number of transactions that were successfully
+  committed within a time frame, defined as the interval between the
+  reception of the first and the commitment of the last transaction".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean, median
+from typing import Iterable, Protocol
+
+
+class LatencyRecord(Protocol):
+    """Anything with the lifecycle fields both systems' records expose."""
+
+    submitted_at: float
+    committed_at: float | None
+
+
+@dataclass
+class OperationStats:
+    """Latency summary for one transaction type."""
+
+    operation: str
+    count: int
+    mean_latency: float
+    median_latency: float
+    p95_latency: float
+    max_latency: float
+
+    @classmethod
+    def from_latencies(cls, operation: str, latencies: list[float]) -> "OperationStats":
+        ordered = sorted(latencies)
+        p95_index = min(len(ordered) - 1, int(0.95 * len(ordered)))
+        return cls(
+            operation=operation,
+            count=len(ordered),
+            mean_latency=mean(ordered),
+            median_latency=median(ordered),
+            p95_latency=ordered[p95_index],
+            max_latency=ordered[-1],
+        )
+
+
+@dataclass
+class RunMetrics:
+    """Full metric set for one experiment run."""
+
+    system: str
+    per_operation: dict[str, OperationStats] = field(default_factory=dict)
+    throughput_tps: float = 0.0
+    committed: int = 0
+    submitted: int = 0
+    span_seconds: float = 0.0
+
+    def latency(self, operation: str) -> float:
+        """Mean latency for an operation (inf when none committed)."""
+        stats = self.per_operation.get(operation)
+        return stats.mean_latency if stats else float("inf")
+
+
+def collect_metrics(
+    system: str,
+    records: Iterable[object],
+    operation_of=lambda record: getattr(record, "operation", None)
+    or getattr(record, "method", None)
+    or getattr(record, "kind", "?"),
+) -> RunMetrics:
+    """Compute paper-definition metrics from lifecycle records.
+
+    Args:
+        system: label ("SCDB" / "ETH-SC").
+        records: objects with ``submitted_at`` / ``committed_at``.
+        operation_of: how to bucket records into transaction types.
+    """
+    latencies: dict[str, list[float]] = {}
+    first_reception: float | None = None
+    last_commit: float | None = None
+    committed = 0
+    submitted = 0
+    for record in records:
+        submitted += 1
+        received = record.submitted_at
+        if first_reception is None or received < first_reception:
+            first_reception = received
+        committed_at = record.committed_at
+        if committed_at is None:
+            continue
+        committed += 1
+        if last_commit is None or committed_at > last_commit:
+            last_commit = committed_at
+        operation = str(operation_of(record))
+        latencies.setdefault(operation, []).append(committed_at - received)
+
+    metrics = RunMetrics(system=system, submitted=submitted, committed=committed)
+    for operation, values in latencies.items():
+        metrics.per_operation[operation] = OperationStats.from_latencies(operation, values)
+    if first_reception is not None and last_commit is not None and last_commit > first_reception:
+        metrics.span_seconds = last_commit - first_reception
+        metrics.throughput_tps = committed / metrics.span_seconds
+    return metrics

@@ -1,0 +1,56 @@
+"""Plain-text tables and series for the benchmark harness.
+
+Every figure/table benchmark prints the same rows/series the paper
+reports, through these helpers, so ``pytest benchmarks/ --benchmark-only``
+regenerates human-readable evaluation output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    rendered_rows = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[index]) for index, cell in enumerate(cells))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line([str(header) for header in headers]))
+    parts.append(line(["-" * width for width in widths]))
+    for row in rendered_rows:
+        parts.append(line(row))
+    return "\n".join(parts)
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_series(name: str, xs: Sequence[Any], ys: Sequence[Any], x_label: str, y_label: str) -> str:
+    """One figure series as aligned (x, y) pairs."""
+    rows = list(zip(xs, ys))
+    return format_table([x_label, y_label], rows, title=name)
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio (inf-aware) for speedup reporting."""
+    if denominator <= 0:
+        return float("inf")
+    return numerator / denominator

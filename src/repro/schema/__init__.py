@@ -1,0 +1,18 @@
+"""Transaction schema layer: YAML schemas + structural validation."""
+
+from repro.schema.registry import (
+    OPERATION_SCHEMAS,
+    RESERVED_OPERATIONS,
+    SchemaRegistry,
+    default_registry,
+)
+from repro.schema.validator import SchemaValidator, validate_language_key
+
+__all__ = [
+    "OPERATION_SCHEMAS",
+    "RESERVED_OPERATIONS",
+    "SchemaRegistry",
+    "SchemaValidator",
+    "default_registry",
+    "validate_language_key",
+]

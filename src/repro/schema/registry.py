@@ -1,0 +1,100 @@
+"""Schema registry: loads YAML schema files and validates payloads by type.
+
+Implements the ``loadSchema`` / ``validateSchema`` plumbing of Algorithm 1.
+Schemas live as yamlite files under ``repro/schema/definitions``; the shared
+``base.yaml`` supplies the ``definitions`` table every per-type schema
+references.
+"""
+
+from __future__ import annotations
+
+from importlib import resources
+from typing import Any
+
+from repro import yamlite
+from repro.common.errors import SchemaValidationError, UnknownOperationError
+from repro.schema.validator import SchemaValidator, validate_language_key
+
+#: Operation name -> schema file stem.
+OPERATION_SCHEMAS = {
+    "CREATE": "create",
+    "TRANSFER": "transfer",
+    "REQUEST": "request",
+    "BID": "bid",
+    "ACCEPT_BID": "accept_bid",
+    "RETURN": "return",
+    "INTEREST": "interest",
+    "PRE_REQUEST": "pre_request",
+}
+
+#: The reserved operation set OP (Section 3.1); superset of implemented types
+#: so that the schema enum can mention planned primitives.
+RESERVED_OPERATIONS = frozenset(OPERATION_SCHEMAS)
+
+
+def _read_definition(stem: str) -> dict[str, Any]:
+    source = resources.files("repro.schema").joinpath(f"definitions/{stem}.yaml").read_text()
+    document = yamlite.loads(source)
+    if not isinstance(document, dict):
+        raise SchemaValidationError(f"schema file {stem}.yaml did not parse to a mapping")
+    return document
+
+
+class SchemaRegistry:
+    """Loads and caches one :class:`SchemaValidator` per transaction type."""
+
+    def __init__(self) -> None:
+        base = _read_definition("base")
+        self._definitions: dict[str, Any] = base.get("definitions", {})
+        self._validators: dict[str, SchemaValidator] = {}
+
+    def validator_for(self, operation: str) -> SchemaValidator:
+        """Return the validator for ``operation``.
+
+        Raises:
+            UnknownOperationError: if the operation is outside OP.
+        """
+        stem = OPERATION_SCHEMAS.get(operation)
+        if stem is None:
+            raise UnknownOperationError(
+                f"operation {operation!r} is not in the reserved operation set",
+                "$.operation",
+            )
+        validator = self._validators.get(operation)
+        if validator is None:
+            schema = _read_definition(stem)
+            validator = SchemaValidator(schema, definitions=self._definitions)
+            self._validators[operation] = validator
+        return validator
+
+    def validate_transaction(self, payload: dict[str, Any]) -> None:
+        """Algorithm 1: full schema validation of a transaction payload.
+
+        Runs (1) structural validation against the operation's YAML schema
+        and (2) ``validateLanguageKey`` over the asset and metadata
+        sections.
+
+        Raises:
+            SchemaValidationError / UnknownOperationError on any violation.
+        """
+        if not isinstance(payload, dict):
+            raise SchemaValidationError("transaction payload must be a mapping")
+        operation = payload.get("operation")
+        if not isinstance(operation, str):
+            raise SchemaValidationError("missing operation", "$.operation")
+        self.validator_for(operation).validate(payload)
+        asset = payload.get("asset")
+        if isinstance(asset, dict) and "data" in asset:
+            validate_language_key(asset, "data")
+        validate_language_key(payload, "metadata")
+
+
+_DEFAULT_REGISTRY: SchemaRegistry | None = None
+
+
+def default_registry() -> SchemaRegistry:
+    """Process-wide shared registry (schemas are immutable)."""
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        _DEFAULT_REGISTRY = SchemaRegistry()
+    return _DEFAULT_REGISTRY

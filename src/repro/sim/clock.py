@@ -1,0 +1,39 @@
+"""Simulated time.
+
+The paper's evaluation ran on a DigitalOcean cluster and measured wall
+clock.  We substitute a simulated clock: functional logic executes for
+real, while *time* advances only through explicit cost charges.  This
+makes every benchmark deterministic and lets a laptop sweep 32-node
+clusters in seconds.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically advancing simulated clock (seconds as float)."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` seconds.
+
+        Raises:
+            ValueError: on negative deltas — simulated time never rewinds.
+        """
+        if delta < 0:
+            raise ValueError(f"cannot advance clock by negative delta {delta}")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time forward to an absolute timestamp (no-op if in the past)."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now

@@ -1,0 +1,145 @@
+"""Simulated cluster network.
+
+Models the message fabric between validator nodes: per-link latency with
+deterministic jitter, bandwidth-proportional serialisation delay for large
+payloads, broadcast helpers, and partition/crash awareness (delivery to a
+crashed or partitioned node is silently dropped, as in a real network).
+
+Latency defaults approximate a single-region cloud deployment like the
+paper's DigitalOcean setup (sub-millisecond to a few milliseconds RTT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.sim.events import EventLoop
+from repro.sim.rng import SeededRng
+
+
+@dataclass
+class NetworkConfig:
+    """Tunable link characteristics.
+
+    Attributes:
+        base_latency: one-way propagation delay floor (seconds).
+        jitter: max additional uniform random delay (seconds).
+        bandwidth_bytes_per_sec: serialisation rate for payload bytes.
+    """
+
+    base_latency: float = 0.002
+    jitter: float = 0.001
+    bandwidth_bytes_per_sec: float = 125_000_000.0  # ~1 Gbps
+
+
+@dataclass
+class Message:
+    """A network message between nodes."""
+
+    sender: str
+    recipient: str
+    kind: str
+    payload: Any
+    size_bytes: int = 256
+    send_time: float = 0.0
+
+
+class Network:
+    """Connects named nodes through a latency/bandwidth model.
+
+    Nodes register a handler; :meth:`send` schedules the handler invocation
+    on the shared event loop after the modelled delay.  Crashed nodes
+    receive nothing; messages sent *by* crashed nodes are dropped too.
+    """
+
+    def __init__(self, loop: EventLoop, rng: SeededRng, config: NetworkConfig | None = None):
+        self._loop = loop
+        self._rng = rng
+        self.config = config or NetworkConfig()
+        self._handlers: dict[str, Callable[[Message], None]] = {}
+        self._crashed: set[str] = set()
+        self._partitions: list[set[str]] = []
+        self.stats = {"sent": 0, "delivered": 0, "dropped": 0, "bytes": 0}
+
+    # -- membership -----------------------------------------------------------
+
+    def register(self, node_id: str, handler: Callable[[Message], None]) -> None:
+        """Attach a node's message handler."""
+        self._handlers[node_id] = handler
+
+    def nodes(self) -> list[str]:
+        return sorted(self._handlers)
+
+    # -- failures -------------------------------------------------------------
+
+    def crash(self, node_id: str) -> None:
+        """Mark a node offline (messages to/from it are dropped)."""
+        self._crashed.add(node_id)
+
+    def recover(self, node_id: str) -> None:
+        """Bring a crashed node back online."""
+        self._crashed.discard(node_id)
+
+    def is_crashed(self, node_id: str) -> bool:
+        return node_id in self._crashed
+
+    def partition(self, groups: list[set[str]]) -> None:
+        """Split the network: messages may only flow within one group."""
+        self._partitions = [set(group) for group in groups]
+
+    def heal_partition(self) -> None:
+        """Remove all partitions."""
+        self._partitions = []
+
+    def _can_communicate(self, sender: str, recipient: str) -> bool:
+        if sender in self._crashed or recipient in self._crashed:
+            return False
+        if not self._partitions:
+            return True
+        for group in self._partitions:
+            if sender in group and recipient in group:
+                return True
+        return False
+
+    # -- transmission ----------------------------------------------------------
+
+    def delay_for(self, size_bytes: int, link: str) -> float:
+        """Deterministic-jitter delay for a message of ``size_bytes``."""
+        jitter = self._rng.uniform(f"net:{link}", 0.0, self.config.jitter)
+        serialisation = size_bytes / self.config.bandwidth_bytes_per_sec
+        return self.config.base_latency + jitter + serialisation
+
+    def send(self, sender: str, recipient: str, kind: str, payload: Any, size_bytes: int = 256) -> None:
+        """Send one message; delivery is scheduled on the event loop."""
+        self.stats["sent"] += 1
+        self.stats["bytes"] += size_bytes
+        if recipient not in self._handlers or not self._can_communicate(sender, recipient):
+            self.stats["dropped"] += 1
+            return
+        message = Message(
+            sender=sender,
+            recipient=recipient,
+            kind=kind,
+            payload=payload,
+            size_bytes=size_bytes,
+            send_time=self._loop.clock.now,
+        )
+        delay = self.delay_for(size_bytes, f"{sender}->{recipient}")
+
+        def deliver() -> None:
+            # Re-check at delivery time: the recipient may have crashed
+            # while the message was in flight.
+            if not self._can_communicate(sender, recipient):
+                self.stats["dropped"] += 1
+                return
+            self.stats["delivered"] += 1
+            self._handlers[recipient](message)
+
+        self._loop.schedule_in(delay, deliver)
+
+    def broadcast(self, sender: str, kind: str, payload: Any, size_bytes: int = 256) -> None:
+        """Send to every registered node except the sender."""
+        for node_id in self.nodes():
+            if node_id != sender:
+                self.send(sender, node_id, kind, payload, size_bytes)

@@ -1,0 +1,21 @@
+"""In-process document store standing in for MongoDB."""
+
+from repro.storage.collection import Collection
+from repro.storage.database import SMARTCHAINDB_LAYOUT, Database, make_smartchaindb_database
+from repro.storage.documents import extract_equality_paths, matches, resolve_path
+from repro.storage.indexes import HashIndex, SortedIndex
+from repro.storage.query import QueryPlan, QueryPlanner
+
+__all__ = [
+    "Collection",
+    "Database",
+    "HashIndex",
+    "QueryPlan",
+    "QueryPlanner",
+    "SMARTCHAINDB_LAYOUT",
+    "SortedIndex",
+    "extract_equality_paths",
+    "make_smartchaindb_database",
+    "matches",
+    "resolve_path",
+]

@@ -1,0 +1,233 @@
+"""A single document collection with indexes and update support."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterator
+
+from repro.common.encoding import deep_copy_json
+from repro.common.errors import DuplicateKeyError, QueryError, StorageError
+from repro.storage.documents import matches, resolve_path
+from repro.storage.indexes import HashIndex, SortedIndex
+from repro.storage.query import QueryPlan, QueryPlanner
+
+
+class Collection:
+    """An in-process MongoDB-style collection.
+
+    Documents are stored by internal integer id; inserted and returned
+    documents are deep-copied at the boundary so callers can never mutate
+    stored state in place.
+
+    Args:
+        name: collection name (used in error messages / stats).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._documents: dict[int, dict[str, Any]] = {}
+        self._next_id = itertools.count(1)
+        self._hash_indexes: dict[str, HashIndex] = {}
+        self._sorted_indexes: dict[str, SortedIndex] = {}
+        self._planner = QueryPlanner(self._hash_indexes, self._sorted_indexes)
+        #: Running counters, inspected by benchmarks and the cost model.
+        self.stats: dict[str, int] = {
+            "inserts": 0,
+            "deletes": 0,
+            "updates": 0,
+            "queries": 0,
+            "index_probes": 0,
+            "full_scans": 0,
+            "documents_examined": 0,
+        }
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    # -- index management ----------------------------------------------------
+
+    def create_index(self, path: str, unique: bool = False) -> None:
+        """Create (and backfill) a hash index on ``path``."""
+        if path in self._hash_indexes:
+            return
+        index = HashIndex(path, unique=unique)
+        for doc_id, document in self._documents.items():
+            index.add(doc_id, document)
+        self._hash_indexes[path] = index
+
+    def create_sorted_index(self, path: str) -> None:
+        """Create (and backfill) an ordered index on ``path``."""
+        if path in self._sorted_indexes:
+            return
+        index = SortedIndex(path)
+        for doc_id, document in self._documents.items():
+            index.add(doc_id, document)
+        self._sorted_indexes[path] = index
+
+    def index_paths(self) -> list[str]:
+        """Dotted paths of the hash indexes on this collection."""
+        return sorted(self._hash_indexes)
+
+    # -- writes ---------------------------------------------------------------
+
+    def insert_one(self, document: dict[str, Any]) -> int:
+        """Insert a document; returns its internal id.
+
+        Raises:
+            DuplicateKeyError: if a unique index is violated (the insert is
+                rolled back from any indexes already updated).
+            StorageError: if the document is not a mapping.
+        """
+        if not isinstance(document, dict):
+            raise StorageError(f"{self.name}: documents must be mappings")
+        stored = deep_copy_json(document)
+        doc_id = next(self._next_id)
+        added: list[HashIndex] = []
+        try:
+            for index in self._hash_indexes.values():
+                index.add(doc_id, stored)
+                added.append(index)
+        except DuplicateKeyError:
+            for index in added:
+                index.remove(doc_id, stored)
+            raise
+        for sorted_index in self._sorted_indexes.values():
+            sorted_index.add(doc_id, stored)
+        self._documents[doc_id] = stored
+        self.stats["inserts"] += 1
+        return doc_id
+
+    def insert_many(self, documents: list[dict[str, Any]]) -> list[int]:
+        """Insert several documents; stops (and raises) at the first failure."""
+        return [self.insert_one(document) for document in documents]
+
+    def delete_many(self, query: dict[str, Any]) -> int:
+        """Delete all matching documents; returns the count removed."""
+        doomed = [doc_id for doc_id, _ in self._match_ids(query)]
+        for doc_id in doomed:
+            document = self._documents.pop(doc_id)
+            for index in self._hash_indexes.values():
+                index.remove(doc_id, document)
+            for sorted_index in self._sorted_indexes.values():
+                sorted_index.remove(doc_id, document)
+        self.stats["deletes"] += len(doomed)
+        return len(doomed)
+
+    def update_many(
+        self,
+        query: dict[str, Any],
+        update: dict[str, Any] | Callable[[dict[str, Any]], dict[str, Any]],
+    ) -> int:
+        """Update all matching documents.
+
+        ``update`` is either a ``{"$set": {...}}`` document (dotted paths
+        supported) or a callable returning the replacement document.
+
+        Raises:
+            QueryError: if the update document uses unsupported operators.
+        """
+        updated = 0
+        for doc_id, document in self._match_ids(query):
+            if callable(update):
+                replacement = deep_copy_json(update(deep_copy_json(document)))
+            else:
+                replacement = self._apply_update(document, update)
+            for index in self._hash_indexes.values():
+                index.remove(doc_id, document)
+            for sorted_index in self._sorted_indexes.values():
+                sorted_index.remove(doc_id, document)
+            self._documents[doc_id] = replacement
+            for index in self._hash_indexes.values():
+                index.add(doc_id, replacement)
+            for sorted_index in self._sorted_indexes.values():
+                sorted_index.add(doc_id, replacement)
+            updated += 1
+        self.stats["updates"] += updated
+        return updated
+
+    @staticmethod
+    def _apply_update(document: dict[str, Any], update: dict[str, Any]) -> dict[str, Any]:
+        replacement = deep_copy_json(document)
+        for operator, fields in update.items():
+            if operator == "$set":
+                for path, value in fields.items():
+                    target = replacement
+                    segments = path.split(".")
+                    for segment in segments[:-1]:
+                        target = target.setdefault(segment, {})
+                        if not isinstance(target, dict):
+                            raise QueryError(f"$set path {path!r} crosses a non-object")
+                    target[segments[-1]] = deep_copy_json(value)
+            elif operator == "$inc":
+                for path, delta in fields.items():
+                    target = replacement
+                    segments = path.split(".")
+                    for segment in segments[:-1]:
+                        target = target.setdefault(segment, {})
+                    target[segments[-1]] = target.get(segments[-1], 0) + delta
+            elif operator == "$push":
+                for path, value in fields.items():
+                    target = replacement
+                    segments = path.split(".")
+                    for segment in segments[:-1]:
+                        target = target.setdefault(segment, {})
+                    target.setdefault(segments[-1], []).append(deep_copy_json(value))
+            else:
+                raise QueryError(f"unsupported update operator: {operator!r}")
+        return replacement
+
+    # -- reads ----------------------------------------------------------------
+
+    def _match_ids(self, query: dict[str, Any]) -> Iterator[tuple[int, dict[str, Any]]]:
+        self.stats["queries"] += 1
+        plan, candidate_ids = self._planner.plan(query, len(self._documents))
+        if plan.kind == "index":
+            self.stats["index_probes"] += 1
+            candidates = sorted(candidate_ids or ())
+        else:
+            self.stats["full_scans"] += 1
+            candidates = list(self._documents)
+        for doc_id in candidates:
+            document = self._documents.get(doc_id)
+            if document is None:
+                continue
+            self.stats["documents_examined"] += 1
+            if matches(document, query):
+                yield doc_id, document
+
+    def find(self, query: dict[str, Any] | None = None, limit: int | None = None) -> list[dict[str, Any]]:
+        """Return copies of all documents matching ``query``."""
+        query = query or {}
+        results = []
+        for _, document in self._match_ids(query):
+            results.append(deep_copy_json(document))
+            if limit is not None and len(results) >= limit:
+                break
+        return results
+
+    def find_one(self, query: dict[str, Any] | None = None) -> dict[str, Any] | None:
+        """First matching document, or None."""
+        found = self.find(query, limit=1)
+        return found[0] if found else None
+
+    def count(self, query: dict[str, Any] | None = None) -> int:
+        """Number of matching documents."""
+        if not query:
+            return len(self._documents)
+        return sum(1 for _ in self._match_ids(query))
+
+    def distinct(self, path: str, query: dict[str, Any] | None = None) -> list[Any]:
+        """Distinct scalar values at ``path`` over matching documents."""
+        seen: list[Any] = []
+        for document in self.find(query or {}):
+            for value in resolve_path(document, path):
+                candidates = value if isinstance(value, list) else [value]
+                for candidate in candidates:
+                    if candidate not in seen:
+                        seen.append(candidate)
+        return seen
+
+    def explain(self, query: dict[str, Any]) -> QueryPlan:
+        """Expose the access path the planner would pick (for ablations)."""
+        plan, _ = self._planner.plan(query, len(self._documents))
+        return plan

@@ -1,0 +1,90 @@
+"""The node-local database: named collections with the SmartchainDB layout.
+
+Mirrors the MongoDB database each BigchainDB node runs, including the new
+``accept_tx_recovery`` collection the paper introduces for nested
+transaction recovery (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.errors import CollectionNotFoundError
+from repro.storage.collection import Collection
+
+#: Collections a SmartchainDB node provisions, with their hash indexes.
+SMARTCHAINDB_LAYOUT: dict[str, list[tuple[str, bool]]] = {
+    # (index path, unique)
+    "transactions": [
+        ("id", True),
+        ("operation", False),
+        ("asset.id", False),
+        ("outputs.public_keys", False),
+        ("references", False),
+        ("inputs.fulfills.transaction_id", False),
+    ],
+    "assets": [("id", True)],
+    "metadata": [("id", True)],
+    "blocks": [("height", True)],
+    "utxos": [("transaction_id", False), ("public_keys", False)],
+    "accept_tx_recovery": [("accept_id", True), ("rfq_id", False), ("status", False)],
+}
+
+
+class Database:
+    """A named set of collections, creatable on demand."""
+
+    def __init__(self, name: str = "smartchaindb"):
+        self.name = name
+        self._collections: dict[str, Collection] = {}
+
+    def create_collection(self, name: str) -> Collection:
+        """Create (or fetch) a collection by name."""
+        collection = self._collections.get(name)
+        if collection is None:
+            collection = Collection(name)
+            self._collections[name] = collection
+        return collection
+
+    def collection(self, name: str) -> Collection:
+        """Fetch an existing collection.
+
+        Raises:
+            CollectionNotFoundError: if it was never created.
+        """
+        collection = self._collections.get(name)
+        if collection is None:
+            raise CollectionNotFoundError(f"no collection named {name!r} in {self.name!r}")
+        return collection
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._collections
+
+    def collection_names(self) -> list[str]:
+        return sorted(self._collections)
+
+    def stats(self) -> dict[str, dict[str, Any]]:
+        """Per-collection operation counters (benchmark instrumentation)."""
+        return {
+            name: {"size": len(collection), **collection.stats}
+            for name, collection in self._collections.items()
+        }
+
+
+def make_smartchaindb_database(name: str = "smartchaindb", indexed: bool = True) -> Database:
+    """Provision the standard SmartchainDB collection layout.
+
+    Args:
+        name: database name.
+        indexed: when False, collections are created *without* their hash
+            indexes — used by the indexing ablation benchmark to show why
+            BigchainDB's latency stays flat.
+    """
+    database = Database(name)
+    for collection_name, indexes in SMARTCHAINDB_LAYOUT.items():
+        collection = database.create_collection(collection_name)
+        if indexed:
+            for path, unique in indexes:
+                collection.create_index(path, unique=unique)
+            collection.create_sorted_index("height") if collection_name == "blocks" else None
+    return database

@@ -1,0 +1,140 @@
+"""Secondary indexes for the document store.
+
+Two kinds, mirroring what the SmartchainDB deployment needs:
+
+* :class:`HashIndex` — O(1) point lookups on an exact value (transaction
+  id, ``asset.id``, output public keys...).  Optionally unique.
+* :class:`SortedIndex` — bisect-backed ordered index supporting range
+  scans (block heights, timestamps).
+
+Index keys are extracted with the same dotted-path, array-fanning rules as
+query evaluation, so an index on ``outputs.public_keys`` indexes a document
+under *every* key appearing in any output.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Iterator
+
+from repro.common.errors import DuplicateKeyError
+from repro.storage.documents import resolve_path
+
+
+def _index_keys(document: Any, path: str) -> set[Any]:
+    """All hashable key values a document exposes at ``path``."""
+    keys: set[Any] = set()
+    for value in resolve_path(document, path):
+        if isinstance(value, list):
+            for element in value:
+                if not isinstance(element, (dict, list)):
+                    keys.add(element)
+        elif not isinstance(value, dict):
+            keys.add(value)
+    return keys
+
+
+class HashIndex:
+    """Exact-match index mapping key value -> set of document ids."""
+
+    def __init__(self, path: str, unique: bool = False):
+        self.path = path
+        self.unique = unique
+        self._buckets: dict[Any, set[int]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def add(self, doc_id: int, document: Any) -> None:
+        """Index ``document`` under ``doc_id``.
+
+        Raises:
+            DuplicateKeyError: if unique and a key value is already taken.
+        """
+        keys = _index_keys(document, self.path)
+        if self.unique:
+            for key in keys:
+                bucket = self._buckets.get(key)
+                if bucket and doc_id not in bucket:
+                    raise DuplicateKeyError(
+                        f"duplicate value {key!r} for unique index on {self.path!r}"
+                    )
+        for key in keys:
+            self._buckets.setdefault(key, set()).add(doc_id)
+
+    def remove(self, doc_id: int, document: Any) -> None:
+        """Drop a document from the index."""
+        for key in _index_keys(document, self.path):
+            bucket = self._buckets.get(key)
+            if bucket is not None:
+                bucket.discard(doc_id)
+                if not bucket:
+                    del self._buckets[key]
+
+    def lookup(self, key: Any) -> set[int]:
+        """Document ids stored under ``key`` (empty set if none)."""
+        return set(self._buckets.get(key, ()))
+
+    def contains_key(self, key: Any) -> bool:
+        return key in self._buckets
+
+
+class SortedIndex:
+    """Ordered index over a single comparable field; supports range scans."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._keys: list[Any] = []
+        self._ids: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def add(self, doc_id: int, document: Any) -> None:
+        """Insert every comparable value the document exposes at the path."""
+        for key in _index_keys(document, self.path):
+            if isinstance(key, bool) or not isinstance(key, (int, float, str)):
+                continue
+            position = bisect.bisect_right(self._keys, key)
+            self._keys.insert(position, key)
+            self._ids.insert(position, doc_id)
+
+    def remove(self, doc_id: int, document: Any) -> None:
+        """Remove this document's entries (linear within equal-key run)."""
+        for key in _index_keys(document, self.path):
+            if isinstance(key, bool) or not isinstance(key, (int, float, str)):
+                continue
+            left = bisect.bisect_left(self._keys, key)
+            right = bisect.bisect_right(self._keys, key)
+            for position in range(left, right):
+                if self._ids[position] == doc_id:
+                    del self._keys[position]
+                    del self._ids[position]
+                    break
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[int]:
+        """Yield document ids with keys inside the given bounds, in order."""
+        if low is None:
+            start = 0
+        elif include_low:
+            start = bisect.bisect_left(self._keys, low)
+        else:
+            start = bisect.bisect_right(self._keys, low)
+        if high is None:
+            stop = len(self._keys)
+        elif include_high:
+            stop = bisect.bisect_right(self._keys, high)
+        else:
+            stop = bisect.bisect_left(self._keys, high)
+        for position in range(start, stop):
+            yield self._ids[position]
+
+    def min_ids(self) -> Iterable[int]:
+        """Ids ordered ascending by key (full scan order)."""
+        return list(self._ids)

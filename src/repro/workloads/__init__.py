@@ -1,0 +1,27 @@
+"""Synthetic workloads (Section 5.1.3) and comparable scenario runners."""
+
+from repro.workloads.generator import (
+    CAPABILITY_VOCABULARY,
+    PAPER_MIX,
+    WorkloadGenerator,
+    WorkloadItem,
+    WorkloadSpec,
+)
+from repro.workloads.scenarios import (
+    ScenarioResult,
+    ScenarioSpec,
+    run_eth_scenario,
+    run_scdb_scenario,
+)
+
+__all__ = [
+    "CAPABILITY_VOCABULARY",
+    "PAPER_MIX",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "WorkloadGenerator",
+    "WorkloadItem",
+    "WorkloadSpec",
+    "run_eth_scenario",
+    "run_scdb_scenario",
+]

@@ -1,0 +1,5 @@
+"""Minimal YAML subset parser/dumper for transaction schemas."""
+
+from repro.yamlite.parser import dumps, loads, parse_scalar
+
+__all__ = ["dumps", "loads", "parse_scalar"]

@@ -1,0 +1,159 @@
+"""Fraud heuristics over the transaction graph."""
+
+import pytest
+
+from repro.analytics import FraudAnalyzer
+from repro.core.cluster import ClusterConfig, SmartchainCluster
+from repro.crypto.keys import keypair_from_string
+
+ALICE = keypair_from_string("alice")
+BOB = keypair_from_string("bob")
+SALLY = keypair_from_string("sally")
+
+
+def fresh_cluster(seed=41):
+    return SmartchainCluster(ClusterConfig(n_validators=4, seed=seed))
+
+
+class TestSelfDealing:
+    def test_detects_requester_winning_own_asset(self):
+        cluster = fresh_cluster()
+        driver = cluster.driver
+        # Sally mints the asset, hands it to Bob, Bob bids it on Sally's
+        # RFQ, Sally accepts — the asset loops back to its minter.
+        create = driver.prepare_create(SALLY, {"capabilities": ["cap"]})
+        cluster.submit_and_settle(create)
+        handoff = driver.prepare_transfer(
+            SALLY, [(create.tx_id, 0, 1)], create.tx_id, [(BOB.public_key, 1)]
+        )
+        cluster.submit_and_settle(handoff)
+        request = driver.prepare_request(SALLY, ["cap"])
+        cluster.submit_and_settle(request)
+        bid = driver.prepare_bid(BOB, request.tx_id, create.tx_id, [(handoff.tx_id, 0, 1)])
+        cluster.submit_and_settle(bid)
+        accept = driver.prepare_accept_bid(SALLY, request.tx_id, bid)
+        cluster.submit_and_settle(accept)
+
+        findings = FraudAnalyzer(cluster.any_server()).self_dealing()
+        assert len(findings) == 1
+        assert findings[0].subject == SALLY.public_key
+
+    def test_clean_auction_is_clean(self):
+        cluster = fresh_cluster(seed=42)
+        driver = cluster.driver
+        create = driver.prepare_create(ALICE, {"capabilities": ["cap"]})
+        cluster.submit_and_settle(create)
+        request = driver.prepare_request(SALLY, ["cap"])
+        cluster.submit_and_settle(request)
+        bid = driver.prepare_bid(ALICE, request.tx_id, create.tx_id, [(create.tx_id, 0, 1)])
+        cluster.submit_and_settle(bid)
+        accept = driver.prepare_accept_bid(SALLY, request.tx_id, bid)
+        cluster.submit_and_settle(accept)
+        assert FraudAnalyzer(cluster.any_server()).self_dealing() == []
+
+
+class TestBidChurn:
+    def test_detects_persistent_loser(self):
+        cluster = fresh_cluster(seed=43)
+        driver = cluster.driver
+        loser = keypair_from_string("persistent-loser")
+        winner = keypair_from_string("winner")
+        for round_number in range(3):
+            creates = {}
+            for keypair in (loser, winner):
+                create = driver.prepare_create(
+                    keypair, {"capabilities": ["cap"], "round": round_number}
+                )
+                cluster.submit_payload(create.to_dict())
+                creates[keypair.public_key] = create
+            cluster.run()
+            request = driver.prepare_request(SALLY, ["cap"], metadata={"round": round_number})
+            cluster.submit_and_settle(request)
+            bids = {}
+            for keypair in (loser, winner):
+                create = creates[keypair.public_key]
+                bid = driver.prepare_bid(
+                    keypair, request.tx_id, create.tx_id, [(create.tx_id, 0, 1)]
+                )
+                cluster.submit_payload(bid.to_dict())
+                bids[keypair.public_key] = bid
+            cluster.run()
+            accept = driver.prepare_accept_bid(
+                SALLY, request.tx_id, bids[winner.public_key]
+            )
+            cluster.submit_and_settle(accept)
+
+        findings = FraudAnalyzer(cluster.any_server()).bid_withdraw_churn(threshold=3)
+        subjects = {finding.subject for finding in findings}
+        assert loser.public_key in subjects
+        assert winner.public_key not in subjects
+
+
+class TestRapidFlips:
+    def test_detects_ownership_loop(self):
+        cluster = fresh_cluster(seed=44)
+        driver = cluster.driver
+        create = driver.prepare_create(ALICE, {"capabilities": ["cap"]})
+        cluster.submit_and_settle(create)
+        hop_1 = driver.prepare_transfer(
+            ALICE, [(create.tx_id, 0, 1)], create.tx_id, [(BOB.public_key, 1)]
+        )
+        cluster.submit_and_settle(hop_1)
+        hop_2 = driver.prepare_transfer(
+            BOB, [(hop_1.tx_id, 0, 1)], create.tx_id, [(ALICE.public_key, 1)]
+        )
+        cluster.submit_and_settle(hop_2)
+
+        findings = FraudAnalyzer(cluster.any_server()).rapid_flips()
+        assert any(finding.subject == ALICE.public_key for finding in findings)
+
+    def test_linear_chain_is_clean(self):
+        cluster = fresh_cluster(seed=45)
+        driver = cluster.driver
+        carol = keypair_from_string("carol")
+        create = driver.prepare_create(ALICE, {"capabilities": ["cap"]})
+        cluster.submit_and_settle(create)
+        hop_1 = driver.prepare_transfer(
+            ALICE, [(create.tx_id, 0, 1)], create.tx_id, [(BOB.public_key, 1)]
+        )
+        cluster.submit_and_settle(hop_1)
+        hop_2 = driver.prepare_transfer(
+            BOB, [(hop_1.tx_id, 0, 1)], create.tx_id, [(carol.public_key, 1)]
+        )
+        cluster.submit_and_settle(hop_2)
+        assert FraudAnalyzer(cluster.any_server()).rapid_flips() == []
+
+
+class TestCapabilityOverclaim:
+    def test_detects_outlier(self):
+        cluster = fresh_cluster(seed=46)
+        driver = cluster.driver
+        for index in range(4):
+            create = driver.prepare_create(ALICE, {"capabilities": ["a"], "n": index})
+            cluster.submit_payload(create.to_dict())
+        padded = driver.prepare_create(
+            BOB, {"capabilities": [f"cap-{i}" for i in range(12)]}
+        )
+        cluster.submit_payload(padded.to_dict())
+        cluster.run()
+
+        findings = FraudAnalyzer(cluster.any_server()).capability_overclaim()
+        assert len(findings) == 1
+        assert findings[0].subject == padded.tx_id
+
+    def test_small_market_skipped(self):
+        cluster = fresh_cluster(seed=47)
+        driver = cluster.driver
+        create = driver.prepare_create(ALICE, {"capabilities": ["a"] * 3})
+        cluster.submit_and_settle(create)
+        assert FraudAnalyzer(cluster.any_server()).capability_overclaim() == []
+
+
+class TestScreen:
+    def test_screen_aggregates(self):
+        cluster = fresh_cluster(seed=48)
+        driver = cluster.driver
+        create = driver.prepare_create(ALICE, {"capabilities": ["cap"]})
+        cluster.submit_and_settle(create)
+        findings = FraudAnalyzer(cluster.any_server()).screen()
+        assert findings == []

@@ -1,0 +1,104 @@
+"""Marketplace analytics queries."""
+
+import pytest
+
+from repro.analytics import MarketplaceAnalytics
+from repro.core.cluster import ClusterConfig, SmartchainCluster
+from repro.crypto.keys import keypair_from_string
+
+ALICE = keypair_from_string("alice")
+BOB = keypair_from_string("bob")
+SALLY = keypair_from_string("sally")
+
+
+@pytest.fixture()
+def settled_market():
+    """A settled auction plus one open request."""
+    cluster = SmartchainCluster(ClusterConfig(n_validators=4, seed=31))
+    driver = cluster.driver
+    creates = []
+    for keypair in (ALICE, BOB):
+        create = driver.prepare_create(keypair, {"capabilities": ["3d-print", "iso"]})
+        cluster.submit_payload(create.to_dict())
+        creates.append((keypair, create))
+    cluster.run()
+    request = driver.prepare_request(SALLY, ["3d-print"])
+    cluster.submit_and_settle(request)
+    bids = []
+    for keypair, create in creates:
+        bid = driver.prepare_bid(keypair, request.tx_id, create.tx_id, [(create.tx_id, 0, 1)])
+        cluster.submit_payload(bid.to_dict())
+        bids.append(bid)
+    cluster.run()
+    accept = driver.prepare_accept_bid(SALLY, request.tx_id, bids[0])
+    cluster.submit_and_settle(accept)
+    open_request = driver.prepare_request(SALLY, ["cnc"], metadata={"batch": 2})
+    cluster.submit_and_settle(open_request)
+    analytics = MarketplaceAnalytics(cluster.any_server())
+    return analytics, request, bids, accept, open_request, creates
+
+
+class TestDiscovery:
+    def test_open_requests_excludes_settled(self, settled_market):
+        analytics, request, bids, accept, open_request, creates = settled_market
+        open_ids = {item["id"] for item in analytics.open_requests()}
+        assert open_request.tx_id in open_ids
+        assert request.tx_id not in open_ids
+
+    def test_request_summary(self, settled_market):
+        analytics, request, bids, accept, open_request, creates = settled_market
+        summary = analytics.request_summary(request.tx_id)
+        assert summary.bid_count == 2
+        assert summary.settled
+        assert summary.winning_bid == bids[0].tx_id
+        assert summary.requester == SALLY.public_key
+        assert "3d-print" in summary.capabilities
+
+    def test_capability_demand(self, settled_market):
+        analytics, *_ = settled_market
+        demand = analytics.capability_demand()
+        assert demand["3d-print"] == 1
+        assert demand["cnc"] == 1
+
+
+class TestProvenance:
+    def test_winning_asset_chain(self, settled_market):
+        analytics, request, bids, accept, open_request, creates = settled_market
+        winner_create = creates[0][1]
+        steps = analytics.provenance(winner_create.tx_id)
+        operations = [step.operation for step in steps]
+        assert operations[0] == "CREATE"
+        assert "BID" in operations
+        assert "ACCEPT_BID" in operations
+        # Final holder is the requester.
+        assert SALLY.public_key in steps[-1].holders
+
+    def test_losing_asset_returns_home(self, settled_market):
+        analytics, request, bids, accept, open_request, creates = settled_market
+        loser_create = creates[1][1]
+        steps = analytics.provenance(loser_create.tx_id)
+        assert steps[-1].operation == "RETURN"
+        assert BOB.public_key in steps[-1].holders
+
+    def test_holdings(self, settled_market):
+        analytics, *_ = settled_market
+        assert len(analytics.holdings(SALLY.public_key)) >= 2
+
+
+class TestMarketStructure:
+    def test_bid_competition(self, settled_market):
+        analytics, request, *_ = settled_market
+        assert analytics.bid_competition()[request.tx_id] == 2
+
+    def test_settlement_rate(self, settled_market):
+        analytics, *_ = settled_market
+        assert analytics.settlement_rate() == pytest.approx(0.5)
+
+    def test_operation_volume(self, settled_market):
+        analytics, *_ = settled_market
+        volume = analytics.operation_volume()
+        assert volume["CREATE"] == 2
+        assert volume["BID"] == 2
+        assert volume["REQUEST"] == 2
+        assert volume["ACCEPT_BID"] == 1
+        assert volume["RETURN"] == 1

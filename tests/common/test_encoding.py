@@ -1,0 +1,95 @@
+"""Canonical serialisation and base58 encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.encoding import (
+    base58_decode,
+    base58_encode,
+    canonical_bytes,
+    canonical_serialize,
+    deep_copy_json,
+    hex_decode,
+    hex_encode,
+)
+from repro.common.errors import EncodingError
+
+
+class TestCanonicalSerialize:
+    def test_sorts_keys(self):
+        assert canonical_serialize({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_no_whitespace(self):
+        text = canonical_serialize({"a": [1, 2], "b": {"c": 3}})
+        assert " " not in text
+
+    def test_key_order_does_not_change_output(self):
+        left = canonical_serialize({"x": 1, "y": {"b": 2, "a": 3}})
+        right = canonical_serialize({"y": {"a": 3, "b": 2}, "x": 1})
+        assert left == right
+
+    def test_unicode_preserved(self):
+        assert canonical_serialize({"k": "naïve"}) == '{"k":"naïve"}'
+
+    def test_non_serialisable_raises(self):
+        with pytest.raises(EncodingError):
+            canonical_serialize({"k": object()})
+
+    def test_canonical_bytes_utf8(self):
+        assert canonical_bytes({"k": "é"}) == '{"k":"é"}'.encode("utf-8")
+
+
+class TestBase58:
+    def test_roundtrip_simple(self):
+        assert base58_decode(base58_encode(b"hello")) == b"hello"
+
+    def test_leading_zeros_preserved(self):
+        data = b"\x00\x00\x01\x02"
+        encoded = base58_encode(data)
+        assert encoded.startswith("11")
+        assert base58_decode(encoded) == data
+
+    def test_empty(self):
+        assert base58_encode(b"") == ""
+        assert base58_decode("") == b""
+
+    def test_known_vector(self):
+        # "hello world" per the Bitcoin alphabet.
+        assert base58_encode(b"hello world") == "StV1DL6CwTryKyV"
+
+    def test_invalid_character_raises(self):
+        with pytest.raises(EncodingError):
+            base58_decode("0OIl")  # excluded alphabet characters
+
+    @given(st.binary(max_size=128))
+    def test_roundtrip_property(self, data):
+        assert base58_decode(base58_encode(data)) == data
+
+
+class TestHex:
+    def test_roundtrip(self):
+        assert hex_decode(hex_encode(b"\xde\xad")) == b"\xde\xad"
+
+    def test_0x_prefix_accepted(self):
+        assert hex_decode("0xdead") == b"\xde\xad"
+
+    def test_bad_hex_raises(self):
+        with pytest.raises(EncodingError):
+            hex_decode("zz")
+
+    @given(st.binary(max_size=64))
+    def test_roundtrip_property(self, data):
+        assert hex_decode(hex_encode(data)) == data
+
+
+class TestDeepCopyJson:
+    def test_nested_structures_are_independent(self):
+        original = {"a": [1, {"b": 2}]}
+        copy = deep_copy_json(original)
+        copy["a"][1]["b"] = 99
+        assert original["a"][1]["b"] == 2
+
+    def test_scalars_pass_through(self):
+        assert deep_copy_json(5) == 5
+        assert deep_copy_json(None) is None

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.tendermint import tendermint_config
+from repro.core.cluster import ClusterConfig, SmartchainCluster
+from repro.crypto.keys import KeyPair, keypair_from_string
+
+
+@pytest.fixture()
+def alice() -> KeyPair:
+    return keypair_from_string("alice")
+
+
+@pytest.fixture()
+def bob() -> KeyPair:
+    return keypair_from_string("bob")
+
+
+@pytest.fixture()
+def sally() -> KeyPair:
+    """The requester in the paper's running example."""
+    return keypair_from_string("sally")
+
+
+@pytest.fixture()
+def cluster() -> SmartchainCluster:
+    """A small, fast 4-node SmartchainDB cluster."""
+    return SmartchainCluster(
+        ClusterConfig(
+            n_validators=4,
+            seed=7,
+            consensus=tendermint_config(max_block_txs=8, propose_timeout=0.5),
+        )
+    )
+
+
+@pytest.fixture()
+def auction_fixture(cluster, alice, bob, sally):
+    """A settled-ready auction: two committed assets + a committed REQUEST.
+
+    Returns (cluster, request_tx, [(owner, create_tx), ...], requester).
+    """
+    driver = cluster.driver
+    create_alice = driver.prepare_create(
+        alice, {"capabilities": ["3d-print", "iso-9001"], "name": "printer-a"}
+    )
+    create_bob = driver.prepare_create(
+        bob, {"capabilities": ["3d-print", "iso-9001", "cnc"], "name": "printer-b"}
+    )
+    cluster.submit_payload(create_alice.to_dict())
+    cluster.submit_payload(create_bob.to_dict())
+    cluster.run()
+    request = driver.prepare_request(sally, ["3d-print"])
+    cluster.submit_payload(request.to_dict())
+    cluster.run()
+    return cluster, request, [(alice, create_alice), (bob, create_bob)], sally

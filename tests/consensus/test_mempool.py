@@ -1,0 +1,94 @@
+"""Mempool admission, dedup, reaping."""
+
+import pytest
+
+from repro.common.errors import MempoolFullError
+from repro.consensus.mempool import Mempool
+from repro.consensus.types import TxEnvelope
+
+
+def env(tx_id: str, weight: int = 1, size: int = 100) -> TxEnvelope:
+    return TxEnvelope(tx_id=tx_id, payload={}, size_bytes=size, weight=weight)
+
+
+class TestAdmission:
+    def test_add_and_contains(self):
+        pool = Mempool()
+        assert pool.add(env("a"))
+        assert "a" in pool
+        assert len(pool) == 1
+
+    def test_duplicate_rejected(self):
+        pool = Mempool()
+        pool.add(env("a"))
+        assert not pool.add(env("a"))
+        assert len(pool) == 1
+
+    def test_reaped_tx_cannot_reenter(self):
+        pool = Mempool()
+        pool.add(env("a"))
+        pool.reap()
+        assert not pool.add(env("a"))
+
+    def test_capacity(self):
+        pool = Mempool(capacity=2)
+        pool.add(env("a"))
+        pool.add(env("b"))
+        with pytest.raises(MempoolFullError):
+            pool.add(env("c"))
+
+
+class TestReaping:
+    def test_fifo_order(self):
+        pool = Mempool()
+        for name in "abc":
+            pool.add(env(name))
+        assert [e.tx_id for e in pool.reap()] == ["a", "b", "c"]
+
+    def test_max_txs(self):
+        pool = Mempool()
+        for name in "abcd":
+            pool.add(env(name))
+        assert len(pool.reap(max_txs=2)) == 2
+        assert len(pool) == 2
+
+    def test_max_weight_respected(self):
+        pool = Mempool()
+        pool.add(env("a", weight=5))
+        pool.add(env("b", weight=5))
+        pool.add(env("c", weight=5))
+        batch = pool.reap(max_weight=10)
+        assert [e.tx_id for e in batch] == ["a", "b"]
+
+    def test_oversized_tx_skipped_not_blocking(self):
+        """A tx heavier than the block gas limit must not wedge the queue."""
+        pool = Mempool()
+        pool.add(env("huge", weight=100))
+        pool.add(env("small", weight=1))
+        batch = pool.reap(max_weight=10)
+        assert [e.tx_id for e in batch] == ["small"]
+        assert "huge" in pool
+
+    def test_remove_marks_seen(self):
+        pool = Mempool()
+        pool.add(env("a"))
+        pool.remove(["a"])
+        assert len(pool) == 0
+        assert not pool.add(env("a"))  # committed elsewhere: stays out
+
+
+class TestCrashSemantics:
+    def test_flush_volatile_loses_pending(self):
+        pool = Mempool()
+        pool.add(env("pending"))
+        pool.flush_volatile()
+        assert len(pool) == 0
+        # A re-gossiped pending tx may be re-admitted after the crash.
+        assert pool.add(env("pending"))
+
+    def test_flush_keeps_reaped_dedup(self):
+        pool = Mempool()
+        pool.add(env("done"))
+        pool.reap()
+        pool.flush_volatile()
+        assert not pool.add(env("done"))

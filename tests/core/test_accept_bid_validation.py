@@ -1,0 +1,158 @@
+"""ACCEPT_BID validation: C_ACCEPT_BID conditions (Definition 4 / Algorithm 3)."""
+
+import pytest
+
+from repro.common.errors import (
+    DuplicateTransactionError,
+    InputDoesNotExistError,
+    ValidationError,
+)
+from repro.core.builders import build_accept_bid, build_bid, build_create, build_request
+from repro.core.context import ValidationContext
+from repro.core.validation import TransactionValidator
+from repro.crypto.keys import ReservedAccounts, keypair_from_string
+from repro.storage.database import make_smartchaindb_database
+
+ALICE = keypair_from_string("alice")   # bidder 1
+BOB = keypair_from_string("bob")       # bidder 2
+SALLY = keypair_from_string("sally")   # requester
+
+
+@pytest.fixture()
+def auction():
+    """Two committed bids on one committed request."""
+    database = make_smartchaindb_database()
+    reserved = ReservedAccounts()
+    ctx = ValidationContext(database, reserved)
+    validator = TransactionValidator()
+
+    def commit(transaction):
+        database.collection("transactions").insert_one(transaction.to_dict())
+        return transaction
+
+    caps = ["3d-print", "iso-9001"]
+    create_a = commit(build_create(ALICE, {"capabilities": caps}).sign([ALICE]))
+    create_b = commit(build_create(BOB, {"capabilities": caps}).sign([BOB]))
+    request = commit(build_request(SALLY, ["3d-print"]).sign([SALLY]))
+    bid_a = commit(
+        build_bid(ALICE, request.tx_id, create_a.tx_id, [(create_a.tx_id, 0, 1)],
+                  reserved.escrow.public_key).sign([ALICE])
+    )
+    bid_b = commit(
+        build_bid(BOB, request.tx_id, create_b.tx_id, [(create_b.tx_id, 0, 1)],
+                  reserved.escrow.public_key).sign([BOB])
+    )
+    return ctx, validator, commit, request, bid_a, bid_b
+
+
+class TestHappyPath:
+    def test_requester_accepts_a_bid(self, auction):
+        ctx, validator, commit, request, bid_a, bid_b = auction
+        accept = build_accept_bid(SALLY, request.tx_id, bid_a).sign([SALLY])
+        validator.validate(ctx, accept.to_dict())
+
+    def test_metadata_carries_rfq_and_win_ids(self, auction):
+        ctx, validator, commit, request, bid_a, bid_b = auction
+        accept = build_accept_bid(SALLY, request.tx_id, bid_a).sign([SALLY])
+        assert accept.metadata["rfq_id"] == request.tx_id
+        assert accept.metadata["win_bid_id"] == bid_a.tx_id
+
+
+class TestConditions:
+    def test_uncommitted_request_rejected(self, auction):
+        ctx, validator, commit, request, bid_a, bid_b = auction
+        accept = build_accept_bid(SALLY, "9" * 64, bid_a)
+        accept.references = ["9" * 64]
+        accept.metadata["rfq_id"] = "9" * 64
+        accept.sign([SALLY])
+        with pytest.raises(InputDoesNotExistError):
+            validator.validate_semantics(ctx, accept.to_dict())
+
+    def test_uncommitted_winning_bid_rejected(self, auction):
+        ctx, validator, commit, request, bid_a, bid_b = auction
+        accept = build_accept_bid(SALLY, request.tx_id, bid_a)
+        accept.metadata["win_bid_id"] = "8" * 64
+        accept.asset = {"id": "8" * 64}
+        accept.inputs[0].fulfillment.signatures.clear()
+        accept.sign([SALLY])
+        with pytest.raises(InputDoesNotExistError):
+            validator.validate_semantics(ctx, accept.to_dict())
+
+    def test_signer_must_match_request_signer(self, auction):
+        """Algorithm 3 line 6: only Sally may accept bids on her RFQ."""
+        ctx, validator, commit, request, bid_a, bid_b = auction
+        hijack = build_accept_bid(ALICE, request.tx_id, bid_b).sign([ALICE])
+        with pytest.raises(ValidationError) as info:
+            validator.validate_semantics(ctx, hijack.to_dict())
+        assert "signer" in str(info.value)
+
+    def test_duplicate_accept_rejected(self, auction):
+        """Algorithm 3 lines 8-10: the reinitiation attack from Section 4.2."""
+        ctx, validator, commit, request, bid_a, bid_b = auction
+        first = commit(build_accept_bid(SALLY, request.tx_id, bid_a).sign([SALLY]))
+        second = build_accept_bid(SALLY, request.tx_id, bid_b).sign([SALLY])
+        with pytest.raises(DuplicateTransactionError):
+            validator.validate_semantics(ctx, second.to_dict())
+
+    def test_duplicate_accept_rejected_within_block(self, auction):
+        ctx, validator, commit, request, bid_a, bid_b = auction
+        first = build_accept_bid(SALLY, request.tx_id, bid_a).sign([SALLY])
+        validator.validate_semantics(ctx, first.to_dict())
+        ctx.stage(first.to_dict())
+        second = build_accept_bid(SALLY, request.tx_id, bid_b).sign([SALLY])
+        with pytest.raises(DuplicateTransactionError):
+            validator.validate_semantics(ctx, second.to_dict())
+
+    def test_winning_bid_must_reference_this_rfq(self, auction):
+        ctx, validator, commit, request, bid_a, bid_b = auction
+        other_request = commit(
+            build_request(SALLY, ["3d-print"], metadata={"batch": 2}).sign([SALLY])
+        )
+        crossed = build_accept_bid(SALLY, other_request.tx_id, bid_a).sign([SALLY])
+        with pytest.raises(ValidationError):
+            validator.validate_semantics(ctx, crossed.to_dict())
+
+    def test_winning_transaction_must_be_a_bid(self, auction):
+        ctx, validator, commit, request, bid_a, bid_b = auction
+        accept = build_accept_bid(SALLY, request.tx_id, bid_a)
+        accept.metadata["win_bid_id"] = request.tx_id
+        accept.asset = {"id": request.tx_id}
+        accept.inputs[0].fulfillment.signatures.clear()
+        accept.sign([SALLY])
+        with pytest.raises(ValidationError):
+            validator.validate_semantics(ctx, accept.to_dict())
+
+    def test_c2_exactly_one_reference(self, auction):
+        ctx, validator, commit, request, bid_a, bid_b = auction
+        accept = build_accept_bid(SALLY, request.tx_id, bid_a)
+        accept.references = [request.tx_id, bid_b.tx_id]
+        accept.inputs[0].fulfillment.signatures.clear()
+        accept.sign([SALLY])
+        with pytest.raises(ValidationError):
+            validator.validate_semantics(ctx, accept.to_dict())
+
+    def test_c9_output_must_reach_requester(self, auction):
+        ctx, validator, commit, request, bid_a, bid_b = auction
+        accept = build_accept_bid(SALLY, request.tx_id, bid_a)
+        from repro.core.transaction import Output
+
+        accept.outputs = [Output.for_owner(ALICE.public_key, 1)]
+        accept.inputs[0].fulfillment.signatures.clear()
+        accept.sign([SALLY])
+        with pytest.raises(ValidationError) as info:
+            validator.validate_semantics(ctx, accept.to_dict())
+        assert "CACCEPT_BID.9" in str(info.value)
+
+    def test_accepting_spent_bid_rejected(self, auction):
+        """Once a bid's escrow output is spent (e.g. RETURNed), it is no
+        longer locked and cannot win."""
+        ctx, validator, commit, request, bid_a, bid_b = auction
+        first = commit(build_accept_bid(SALLY, request.tx_id, bid_a).sign([SALLY]))
+        # bid_a's escrow output is now spent by the accept itself;
+        # a conflicting accept of bid_a must fail the double-spend check.
+        replay = build_accept_bid(SALLY, request.tx_id, bid_a)
+        replay.metadata["note"] = "replay"
+        replay.inputs[0].fulfillment.signatures.clear()
+        replay.sign([SALLY])
+        with pytest.raises((DuplicateTransactionError, ValidationError)):
+            validator.validate_semantics(ctx, replay.to_dict())

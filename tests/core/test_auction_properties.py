@@ -1,0 +1,87 @@
+"""Property-based end-to-end invariants of the reverse auction.
+
+For any number of bidders and any winner choice, a settled auction must
+conserve assets: the winner's asset reaches the requester, every loser
+gets exactly their asset back, escrow ends empty, and the recovery log
+closes (Definition 2).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consensus.tendermint import tendermint_config
+from repro.core.cluster import ClusterConfig, SmartchainCluster
+from repro.crypto.keys import keypair_from_string
+
+SALLY = keypair_from_string("sally")
+
+
+def run_auction(n_bidders: int, winner_index: int, seed: int):
+    cluster = SmartchainCluster(
+        ClusterConfig(
+            n_validators=4,
+            seed=seed,
+            consensus=tendermint_config(max_block_txs=8, propose_timeout=0.5),
+        )
+    )
+    driver = cluster.driver
+    bidders = [keypair_from_string(f"prop-bidder-{index}") for index in range(n_bidders)]
+    creates = []
+    for index, keypair in enumerate(bidders):
+        create = driver.prepare_create(keypair, {"capabilities": ["cap"], "n": index})
+        cluster.submit_payload(create.to_dict())
+        creates.append(create)
+    cluster.run()
+    request = driver.prepare_request(SALLY, ["cap"])
+    cluster.submit_and_settle(request)
+    bids = []
+    for keypair, create in zip(bidders, creates):
+        bid = driver.prepare_bid(keypair, request.tx_id, create.tx_id, [(create.tx_id, 0, 1)])
+        cluster.submit_payload(bid.to_dict())
+        bids.append(bid)
+    cluster.run()
+    accept = driver.prepare_accept_bid(SALLY, request.tx_id, bids[winner_index])
+    cluster.submit_payload(accept.to_dict())
+    cluster.run()
+    return cluster, bidders, accept
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    n_bidders=st.integers(min_value=1, max_value=5),
+    winner_seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_settled_auction_conserves_assets_property(n_bidders, winner_seed):
+    winner_index = winner_seed % n_bidders
+    cluster, bidders, accept = run_auction(n_bidders, winner_index, seed=winner_seed)
+    server = cluster.any_server()
+
+    # Every submitted transaction settled one way or the other.
+    assert all(
+        record.committed_at is not None or record.rejected is not None
+        for record in cluster.records.values()
+    )
+    # Exactly n-1 RETURNs committed.
+    returns = server.database.collection("transactions").count({"operation": "RETURN"})
+    assert returns == n_bidders - 1
+    # Losers hold exactly their returned asset; the winner holds nothing.
+    for index, keypair in enumerate(bidders):
+        holdings = server.outputs_for(keypair.public_key)
+        if index == winner_index:
+            assert holdings == []
+        else:
+            assert len(holdings) == 1
+    # Requester holds the request output + the won asset.
+    assert len(server.outputs_for(SALLY.public_key)) == 2
+    # Escrow holds nothing once everything settles.
+    assert server.outputs_for(cluster.reserved.escrow.public_key) == []
+    # Definition 2 closes.
+    assert server.nested.recovery.is_fully_committed(accept.tx_id)
+    # All nodes agree on the chain.
+    chains = {
+        node_id: [block.block_id for block in validator.chain]
+        for node_id, validator in cluster.engine.validators.items()
+    }
+    reference = max(chains.values(), key=len)
+    for chain in chains.values():
+        assert chain == reference[: len(chain)]

@@ -1,0 +1,187 @@
+"""BID validation: every C_BID condition from Definition 3 / Algorithm 2."""
+
+import pytest
+
+from repro.common.errors import (
+    InputDoesNotExistError,
+    InsufficientCapabilitiesError,
+    ValidationError,
+)
+from repro.core.builders import build_bid, build_create, build_request
+from repro.core.context import ValidationContext
+from repro.core.transaction import Output
+from repro.core.validation import TransactionValidator
+from repro.crypto.keys import ReservedAccounts, keypair_from_string
+from repro.storage.database import make_smartchaindb_database
+
+ALICE = keypair_from_string("alice")
+SALLY = keypair_from_string("sally")
+
+
+@pytest.fixture()
+def market():
+    """Committed asset (alice) + committed REQUEST (sally)."""
+    database = make_smartchaindb_database()
+    reserved = ReservedAccounts()
+    ctx = ValidationContext(database, reserved)
+    validator = TransactionValidator()
+
+    def commit(transaction):
+        database.collection("transactions").insert_one(transaction.to_dict())
+        return transaction
+
+    create = commit(
+        build_create(ALICE, {"capabilities": ["3d-print", "iso-9001"], "name": "printer"}).sign(
+            [ALICE]
+        )
+    )
+    request = commit(build_request(SALLY, ["3d-print"]).sign([SALLY]))
+    return ctx, validator, commit, create, request, reserved
+
+
+def make_bid(create, request, reserved, bidder=ALICE):
+    return build_bid(
+        bidder, request.tx_id, create.tx_id, [(create.tx_id, 0, 1)], reserved.escrow.public_key
+    ).sign([bidder])
+
+
+class TestValidBid:
+    def test_happy_path(self, market):
+        ctx, validator, commit, create, request, reserved = market
+        bid = make_bid(create, request, reserved)
+        validator.validate(ctx, bid.to_dict())
+
+    def test_example_from_paper(self, market):
+        """Fig. 6: the BID's input spends Alice's CREATE output, the output
+        is owned by ESCROW, and the reference names Sally's REQUEST."""
+        ctx, validator, commit, create, request, reserved = market
+        bid = make_bid(create, request, reserved)
+        payload = bid.to_dict()
+        assert payload["references"] == [request.tx_id]
+        assert payload["outputs"][0]["public_keys"] == [reserved.escrow.public_key]
+        assert payload["inputs"][0]["fulfills"]["transaction_id"] == create.tx_id
+
+
+class TestConditions:
+    def test_cbid2_missing_reference(self, market):
+        ctx, validator, commit, create, request, reserved = market
+        bid = make_bid(create, request, reserved)
+        bid.references = []
+        bid.inputs[0].fulfillment.signatures.clear()
+        bid.sign([ALICE])
+        with pytest.raises(ValidationError):
+            validator.validate_semantics(ctx, bid.to_dict())
+
+    def test_cbid3_reference_must_be_committed_request(self, market):
+        ctx, validator, commit, create, request, reserved = market
+        bid = make_bid(create, request, reserved)
+        bid.references = ["e" * 64]
+        bid.inputs[0].fulfillment.signatures.clear()
+        bid.sign([ALICE])
+        with pytest.raises(InputDoesNotExistError):
+            validator.validate_semantics(ctx, bid.to_dict())
+
+    def test_cbid3_reference_to_non_request_rejected(self, market):
+        ctx, validator, commit, create, request, reserved = market
+        bid = make_bid(create, request, reserved)
+        bid.references = [create.tx_id]  # a CREATE, not a REQUEST
+        bid.inputs[0].fulfillment.signatures.clear()
+        bid.sign([ALICE])
+        with pytest.raises(InputDoesNotExistError):
+            validator.validate_semantics(ctx, bid.to_dict())
+
+    def test_cbid3_two_requests_rejected(self, market):
+        ctx, validator, commit, create, request, reserved = market
+        second_request = commit(build_request(SALLY, ["iso-9001"]).sign([SALLY]))
+        bid = make_bid(create, request, reserved)
+        bid.references = [request.tx_id, second_request.tx_id]
+        bid.inputs[0].fulfillment.signatures.clear()
+        bid.sign([ALICE])
+        with pytest.raises(ValidationError):
+            validator.validate_semantics(ctx, bid.to_dict())
+
+    def test_cbid5_signature_required(self, market):
+        ctx, validator, commit, create, request, reserved = market
+        bid = make_bid(create, request, reserved)
+        payload = bid.to_dict()
+        payload["inputs"][0]["fulfillment"]["signatures"] = {}
+        with pytest.raises(ValidationError):
+            validator.validate_semantics(ctx, payload)
+
+    def test_cbid6_output_must_go_to_escrow(self, market):
+        ctx, validator, commit, create, request, reserved = market
+        bid = make_bid(create, request, reserved)
+        bid.outputs = [Output.for_owner(ALICE.public_key, 1)]  # back to self
+        bid.inputs[0].fulfillment.signatures.clear()
+        bid.sign([ALICE])
+        with pytest.raises(ValidationError) as info:
+            validator.validate_semantics(ctx, bid.to_dict())
+        assert "CBID.6" in str(info.value)
+
+    def test_cbid7_insufficient_capabilities(self, market):
+        ctx, validator, commit, create, request, reserved = market
+        demanding = commit(build_request(SALLY, ["3d-print", "titanium"]).sign([SALLY]))
+        bid = make_bid(create, demanding, reserved)
+        with pytest.raises(InsufficientCapabilitiesError) as info:
+            validator.validate_semantics(ctx, bid.to_dict())
+        assert "titanium" in str(info.value)
+
+    def test_cbid7_superset_ok(self, market):
+        ctx, validator, commit, create, request, reserved = market
+        modest = commit(build_request(SALLY, ["iso-9001"]).sign([SALLY]))
+        bid = make_bid(create, modest, reserved)
+        validator.validate_semantics(ctx, bid.to_dict())
+
+    def test_cbid8_must_spend_committed_output(self, market):
+        ctx, validator, commit, create, request, reserved = market
+        bid = build_bid(
+            ALICE, request.tx_id, create.tx_id, [("d" * 64, 0, 1)], reserved.escrow.public_key
+        )
+        bid.asset = {"id": create.tx_id}
+        bid.sign([ALICE])
+        with pytest.raises(InputDoesNotExistError):
+            validator.validate_semantics(ctx, bid.to_dict())
+
+    def test_bid_asset_double_escrow_rejected(self, market):
+        """The same asset cannot back two live bids (escrow spend conflict)."""
+        ctx, validator, commit, create, request, reserved = market
+        first = commit(make_bid(create, request, reserved))
+        second_request = commit(build_request(SALLY, ["iso-9001"]).sign([SALLY]))
+        second = build_bid(
+            ALICE,
+            second_request.tx_id,
+            create.tx_id,
+            [(create.tx_id, 0, 1)],
+            reserved.escrow.public_key,
+        ).sign([ALICE])
+        with pytest.raises(ValidationError):
+            validator.validate_semantics(ctx, second.to_dict())
+
+    def test_bid_on_expired_request_rejected(self, market):
+        ctx, validator, commit, create, request, reserved = market
+        expiring = commit(
+            build_request(SALLY, ["3d-print"], metadata={"deadline": 50.0}).sign([SALLY])
+        )
+        ctx.now = 100.0
+        bid = make_bid(create, expiring, reserved)
+        with pytest.raises(ValidationError) as info:
+            validator.validate_semantics(ctx, bid.to_dict())
+        assert "deadline" in str(info.value)
+
+    def test_bid_before_deadline_ok(self, market):
+        ctx, validator, commit, create, request, reserved = market
+        expiring = commit(
+            build_request(SALLY, ["3d-print"], metadata={"deadline": 50.0}).sign([SALLY])
+        )
+        ctx.now = 10.0
+        bid = make_bid(create, expiring, reserved)
+        validator.validate_semantics(ctx, bid.to_dict())
+
+    def test_stranger_cannot_bid_with_others_asset(self, market):
+        ctx, validator, commit, create, request, reserved = market
+        bid = build_bid(
+            SALLY, request.tx_id, create.tx_id, [(create.tx_id, 0, 1)],
+            reserved.escrow.public_key,
+        ).sign([SALLY])
+        with pytest.raises(ValidationError):
+            validator.validate_semantics(ctx, bid.to_dict())

@@ -1,0 +1,125 @@
+"""Driver templates (the Prepare step)."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.core.builders import (
+    build_accept_bid,
+    build_bid,
+    build_create,
+    build_request,
+    build_return,
+    build_transfer,
+)
+from repro.core.transaction import ACCEPT_BID, BID, CREATE, REQUEST, RETURN, TRANSFER
+from repro.crypto.keys import ReservedAccounts, keypair_from_string
+
+ALICE = keypair_from_string("alice")
+BOB = keypair_from_string("bob")
+SALLY = keypair_from_string("sally")
+RESERVED = ReservedAccounts()
+
+
+class TestCreateTemplate:
+    def test_operation_and_asset(self):
+        transaction = build_create(ALICE, {"name": "w"}, amount=3)
+        assert transaction.operation == CREATE
+        assert transaction.asset == {"data": {"name": "w"}}
+        assert transaction.outputs[0].amount == 3
+
+    def test_genesis_input(self):
+        transaction = build_create(ALICE, {"name": "w"})
+        assert transaction.inputs[0].fulfills is None
+        assert transaction.inputs[0].owners_before == [ALICE.public_key]
+
+    def test_recipient_split(self):
+        transaction = build_create(
+            ALICE, {"name": "w"}, recipients=[(BOB.public_key, 2), (SALLY.public_key, 1)]
+        )
+        assert [output.amount for output in transaction.outputs] == [2, 1]
+
+
+class TestTransferTemplate:
+    def test_structure(self):
+        transaction = build_transfer(
+            ALICE, [("a" * 64, 0, 5)], "a" * 64, [(BOB.public_key, 5)]
+        )
+        assert transaction.operation == TRANSFER
+        assert transaction.asset == {"id": "a" * 64}
+        assert transaction.inputs[0].fulfills.transaction_id == "a" * 64
+        assert transaction.outputs[0].owners_before == [ALICE.public_key]
+
+
+class TestRequestTemplate:
+    def test_capabilities_in_asset_data(self):
+        transaction = build_request(SALLY, ["3d-print", "iso"])
+        assert transaction.operation == REQUEST
+        assert transaction.asset["data"]["capabilities"] == ["3d-print", "iso"]
+
+    def test_extra_asset_data_merged(self):
+        transaction = build_request(SALLY, ["cap"], extra_asset_data={"part": "bracket"})
+        assert transaction.asset["data"]["part"] == "bracket"
+
+
+class TestBidTemplate:
+    def test_escrow_output_and_reference(self):
+        transaction = build_bid(
+            ALICE, "r" * 64, "a" * 64, [("a" * 64, 0, 2)], RESERVED.escrow.public_key
+        )
+        assert transaction.operation == BID
+        assert transaction.references == ["r" * 64]
+        assert transaction.outputs[0].public_keys == [RESERVED.escrow.public_key]
+        assert transaction.outputs[0].amount == 2
+        # Original bidder recorded for the eventual RETURN.
+        assert transaction.outputs[0].owners_before == [ALICE.public_key]
+
+    def test_empty_spend_rejected(self):
+        with pytest.raises(ValidationError):
+            build_bid(ALICE, "r" * 64, "a" * 64, [], RESERVED.escrow.public_key)
+
+
+class TestAcceptBidTemplate:
+    def winning_bid(self):
+        return build_bid(
+            ALICE, "r" * 64, "a" * 64, [("a" * 64, 0, 1)], RESERVED.escrow.public_key
+        ).sign([ALICE])
+
+    def test_metadata_and_asset(self):
+        bid = self.winning_bid()
+        transaction = build_accept_bid(SALLY, "r" * 64, bid)
+        assert transaction.operation == ACCEPT_BID
+        assert transaction.metadata["rfq_id"] == "r" * 64
+        assert transaction.metadata["win_bid_id"] == bid.tx_id
+        assert transaction.asset == {"id": bid.tx_id}
+
+    def test_output_goes_to_requester(self):
+        transaction = build_accept_bid(SALLY, "r" * 64, self.winning_bid())
+        assert transaction.outputs[0].public_keys == [SALLY.public_key]
+
+    def test_unsigned_bid_rejected(self):
+        unsigned = build_bid(
+            ALICE, "r" * 64, "a" * 64, [("a" * 64, 0, 1)], RESERVED.escrow.public_key
+        )
+        with pytest.raises(ValidationError):
+            build_accept_bid(SALLY, "r" * 64, unsigned)
+
+
+class TestReturnTemplate:
+    def test_structure(self):
+        bid = build_bid(
+            ALICE, "r" * 64, "a" * 64, [("a" * 64, 0, 1)], RESERVED.escrow.public_key
+        ).sign([ALICE])
+        transaction = build_return(RESERVED.escrow, bid.to_dict(), "c" * 64)
+        assert transaction.operation == RETURN
+        assert transaction.references == [bid.tx_id, "c" * 64]
+        assert transaction.outputs[0].public_keys == [ALICE.public_key]
+        assert transaction.inputs[0].fulfills.transaction_id == bid.tx_id
+
+    def test_missing_original_owner_rejected(self):
+        bid = build_bid(
+            ALICE, "r" * 64, "a" * 64, [("a" * 64, 0, 1)], RESERVED.escrow.public_key
+        ).sign([ALICE])
+        payload = bid.to_dict()
+        payload["outputs"][0].pop("owners_before")
+        with pytest.raises(ValidationError):
+            build_return(RESERVED.escrow, payload, "c" * 64)

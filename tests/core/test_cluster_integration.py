@@ -1,0 +1,167 @@
+"""End-to-end cluster integration: the full reverse auction, crashes, recovery."""
+
+import pytest
+
+from repro.consensus.tendermint import tendermint_config
+from repro.core.cluster import ClusterConfig, SmartchainCluster
+from repro.crypto.keys import keypair_from_string
+
+ALICE = keypair_from_string("alice")
+BOB = keypair_from_string("bob")
+SALLY = keypair_from_string("sally")
+
+
+class TestBasicFlow:
+    def test_create_commits(self, cluster):
+        create = cluster.driver.prepare_create(ALICE, {"name": "w"})
+        record = cluster.submit_and_settle(create)
+        assert record.committed_at is not None
+        assert record.latency > 0
+
+    def test_rejected_transaction_reported(self, cluster):
+        transfer = cluster.driver.prepare_transfer(
+            ALICE, [("c" * 64, 0, 1)], "c" * 64, [(BOB.public_key, 1)]
+        )
+        outcomes = []
+        cluster.submit_payload(transfer.to_dict(), callback=lambda s, d: outcomes.append(s))
+        cluster.run()
+        assert outcomes == ["rejected"]
+        assert cluster.records[transfer.tx_id].rejected is not None
+
+    def test_commit_callback_fires(self, cluster):
+        create = cluster.driver.prepare_create(ALICE, {"name": "w"})
+        outcomes = []
+        cluster.submit_payload(create.to_dict(), callback=lambda s, d: outcomes.append(s))
+        cluster.run()
+        assert outcomes == ["committed"]
+
+    def test_state_replicated_across_nodes(self, cluster):
+        create = cluster.driver.prepare_create(ALICE, {"name": "w"})
+        cluster.submit_and_settle(create)
+        for server in cluster.servers.values():
+            assert server.get_transaction(create.tx_id) is not None
+
+
+class TestReverseAuctionEndToEnd:
+    def test_full_workflow(self, auction_fixture):
+        cluster, request, assets, requester = auction_fixture
+        driver = cluster.driver
+        bids = []
+        for owner, create in assets:
+            bid = driver.prepare_bid(owner, request.tx_id, create.tx_id, [(create.tx_id, 0, 1)])
+            cluster.submit_payload(bid.to_dict())
+            bids.append(bid)
+        cluster.run()
+
+        accept = driver.prepare_accept_bid(requester, request.tx_id, bids[0])
+        cluster.submit_payload(accept.to_dict())
+        cluster.run()
+
+        server = cluster.any_server()
+        # Winning asset reached the requester; loser got a RETURN.
+        assert len(server.outputs_for(requester.public_key)) >= 2  # request output + won bid
+        loser = assets[1][0]
+        loser_outputs = server.outputs_for(loser.public_key)
+        assert len(loser_outputs) == 1
+        # Definition 2: the parent is fully committed once children are.
+        assert server.nested.recovery.is_fully_committed(accept.tx_id)
+
+    def test_returns_created_for_every_loser(self, auction_fixture):
+        cluster, request, assets, requester = auction_fixture
+        driver = cluster.driver
+        bids = []
+        for owner, create in assets:
+            bid = driver.prepare_bid(owner, request.tx_id, create.tx_id, [(create.tx_id, 0, 1)])
+            cluster.submit_payload(bid.to_dict())
+            bids.append(bid)
+        cluster.run()
+        accept = driver.prepare_accept_bid(requester, request.tx_id, bids[1])
+        cluster.submit_payload(accept.to_dict())
+        cluster.run()
+        server = cluster.any_server()
+        returns = server.database.collection("transactions").find({"operation": "RETURN"})
+        assert len(returns) == len(bids) - 1
+
+    def test_second_accept_rejected(self, auction_fixture):
+        """The Section 4.2 security scenario: re-accepting must fail."""
+        cluster, request, assets, requester = auction_fixture
+        driver = cluster.driver
+        bids = []
+        for owner, create in assets:
+            bid = driver.prepare_bid(owner, request.tx_id, create.tx_id, [(create.tx_id, 0, 1)])
+            cluster.submit_payload(bid.to_dict())
+            bids.append(bid)
+        cluster.run()
+        first = driver.prepare_accept_bid(requester, request.tx_id, bids[0])
+        cluster.submit_and_settle(first)
+        second = driver.prepare_accept_bid(
+            requester, request.tx_id, bids[1], metadata={"attempt": 2}
+        )
+        outcomes = []
+        cluster.submit_payload(second.to_dict(), callback=lambda s, d: outcomes.append((s, d)))
+        cluster.run()
+        assert outcomes[0][0] == "rejected"
+
+
+class TestCrashRecovery:
+    def test_receiver_crash_during_returns_recovers(self):
+        """Crash case 2.b: receiver dies after the parent commits; RETURNs
+        are re-enqueued from the recovery log when it comes back."""
+        cluster = SmartchainCluster(
+            ClusterConfig(
+                n_validators=4,
+                seed=11,
+                consensus=tendermint_config(max_block_txs=8, propose_timeout=0.5),
+                worker_poll_interval=0.5,  # slow workers: crash wins the race
+            )
+        )
+        driver = cluster.driver
+        creates = []
+        for index, keypair in enumerate([ALICE, BOB]):
+            create = driver.prepare_create(keypair, {"capabilities": ["cap"], "n": index})
+            cluster.submit_payload(create.to_dict())
+            creates.append((keypair, create))
+        cluster.run()
+        request = driver.prepare_request(SALLY, ["cap"])
+        cluster.submit_and_settle(request)
+        bids = []
+        for keypair, create in creates:
+            bid = driver.prepare_bid(keypair, request.tx_id, create.tx_id, [(create.tx_id, 0, 1)])
+            cluster.submit_payload(bid.to_dict())
+            bids.append(bid)
+        cluster.run()
+
+        accept = driver.prepare_accept_bid(SALLY, request.tx_id, bids[0])
+        cluster.submit_payload(accept.to_dict())
+        # Let the parent commit but crash the accept's receiver before its
+        # slow workers drain the RETURN queue.
+        cluster.loop.run(until=cluster.loop.clock.now + 0.45)
+        receiver = cluster._accept_receivers.get(accept.tx_id)
+        committed = cluster.records[accept.tx_id].committed_at is not None
+        if not (receiver and committed):
+            pytest.skip("accept did not settle inside the crash window under this seed")
+        cluster.failures.crash_now(receiver)
+        cluster.run(duration=5.0)
+        cluster.failures.recover_now(receiver)
+        cluster.run(duration=30.0)
+        cluster.run()
+
+        server = cluster.any_server()
+        returns = server.database.collection("transactions").find({"operation": "RETURN"})
+        assert len(returns) == 1
+        loser = BOB if bids[0].inputs[0].owners_before == [ALICE.public_key] else ALICE
+        assert len(server.outputs_for(loser.public_key)) == 1
+
+    def test_cluster_survives_minority_crash(self, cluster):
+        cluster.failures.crash_now(cluster.engine.validator_order[-1])
+        create = cluster.driver.prepare_create(ALICE, {"name": "resilient"})
+        record = cluster.submit_and_settle(create)
+        assert record.committed_at is not None
+
+    def test_submission_to_crashed_receiver_rerouted(self, cluster):
+        dead = cluster.engine.validator_order[0]
+        cluster.failures.crash_now(dead)
+        create = cluster.driver.prepare_create(ALICE, {"name": "reroute"})
+        record = cluster.submit_payload(create.to_dict(), receiver=dead)
+        cluster.run()
+        assert cluster.records[create.tx_id].committed_at is not None

@@ -1,0 +1,124 @@
+"""ValidationContext: the ledger view behind Algorithms 2-3."""
+
+import pytest
+
+from repro.common.errors import DoubleSpendError, InputDoesNotExistError
+from repro.core.builders import build_bid, build_create, build_request, build_transfer
+from repro.core.context import ValidationContext
+from repro.core.transaction import OutputRef
+from repro.crypto.keys import ReservedAccounts, keypair_from_string
+from repro.storage.database import make_smartchaindb_database
+
+ALICE = keypair_from_string("alice")
+BOB = keypair_from_string("bob")
+SALLY = keypair_from_string("sally")
+
+
+@pytest.fixture()
+def ledger():
+    database = make_smartchaindb_database()
+    reserved = ReservedAccounts()
+    ctx = ValidationContext(database, reserved)
+
+    def commit(transaction):
+        database.collection("transactions").insert_one(transaction.to_dict())
+        return transaction
+
+    return ctx, commit, reserved
+
+
+class TestLookups:
+    def test_get_tx_and_require(self, ledger):
+        ctx, commit, _ = ledger
+        create = commit(build_create(ALICE, {"n": 1}).sign([ALICE]))
+        assert ctx.get_tx(create.tx_id)["id"] == create.tx_id
+        assert ctx.require_committed(create.tx_id, "test")["id"] == create.tx_id
+
+    def test_require_missing_raises(self, ledger):
+        ctx, _, _ = ledger
+        with pytest.raises(InputDoesNotExistError):
+            ctx.require_committed("0" * 64, "missing")
+
+    def test_staged_tx_visible(self, ledger):
+        ctx, _, _ = ledger
+        create = build_create(ALICE, {"n": 1}).sign([ALICE])
+        ctx.stage(create.to_dict())
+        assert ctx.is_committed(create.tx_id)
+        ctx.clear_staged()
+        assert not ctx.is_committed(create.tx_id)
+
+    def test_signer_of(self, ledger):
+        ctx, commit, _ = ledger
+        create = commit(build_create(ALICE, {"n": 1}).sign([ALICE]))
+        assert ctx.signer_of(create.to_dict()) == ALICE.public_key
+
+    def test_asset_lineage(self, ledger):
+        ctx, commit, _ = ledger
+        create = commit(build_create(ALICE, {"n": 1}).sign([ALICE]))
+        transfer = commit(
+            build_transfer(ALICE, [(create.tx_id, 0, 1)], create.tx_id,
+                           [(BOB.public_key, 1)]).sign([ALICE])
+        )
+        assert ctx.asset_lineage_id(create.to_dict()) == create.tx_id
+        assert ctx.asset_lineage_id(transfer.to_dict()) == create.tx_id
+
+
+class TestSpendTracking:
+    def test_output_spender_none_for_fresh(self, ledger):
+        ctx, commit, _ = ledger
+        create = commit(build_create(ALICE, {"n": 1}).sign([ALICE]))
+        assert ctx.output_spender(OutputRef(create.tx_id, 0)) is None
+
+    def test_committed_spend_detected(self, ledger):
+        ctx, commit, _ = ledger
+        create = commit(build_create(ALICE, {"n": 1}).sign([ALICE]))
+        transfer = commit(
+            build_transfer(ALICE, [(create.tx_id, 0, 1)], create.tx_id,
+                           [(BOB.public_key, 1)]).sign([ALICE])
+        )
+        assert ctx.output_spender(OutputRef(create.tx_id, 0)) == transfer.tx_id
+        with pytest.raises(DoubleSpendError):
+            ctx.require_unspent(OutputRef(create.tx_id, 0))
+
+    def test_index_discriminates(self, ledger):
+        ctx, commit, _ = ledger
+        create = commit(build_create(ALICE, {"n": 1}, recipients=[
+            (ALICE.public_key, 1), (ALICE.public_key, 1)]).sign([ALICE]))
+        commit(
+            build_transfer(ALICE, [(create.tx_id, 0, 1)], create.tx_id,
+                           [(BOB.public_key, 1)]).sign([ALICE])
+        )
+        assert ctx.output_spender(OutputRef(create.tx_id, 0)) is not None
+        assert ctx.output_spender(OutputRef(create.tx_id, 1)) is None
+
+    def test_staged_spend_detected(self, ledger):
+        ctx, commit, _ = ledger
+        create = commit(build_create(ALICE, {"n": 1}).sign([ALICE]))
+        transfer = build_transfer(
+            ALICE, [(create.tx_id, 0, 1)], create.tx_id, [(BOB.public_key, 1)]
+        ).sign([ALICE])
+        ctx.stage(transfer.to_dict())
+        assert ctx.output_spender(OutputRef(create.tx_id, 0)) == "<staged>"
+
+
+class TestMarketQueries:
+    def test_bids_and_locked_bids(self, ledger):
+        ctx, commit, reserved = ledger
+        create = commit(build_create(ALICE, {"capabilities": ["c"]}).sign([ALICE]))
+        request = commit(build_request(SALLY, ["c"]).sign([SALLY]))
+        bid = commit(
+            build_bid(ALICE, request.tx_id, create.tx_id, [(create.tx_id, 0, 1)],
+                      reserved.escrow.public_key).sign([ALICE])
+        )
+        assert len(ctx.bids_for_request(request.tx_id)) == 1
+        assert len(ctx.locked_bids(request.tx_id)) == 1
+        # Spend the escrow output -> no longer locked.
+        spend = commit(
+            build_transfer(reserved.escrow, [(bid.tx_id, 0, 1)], create.tx_id,
+                           [(ALICE.public_key, 1)]).sign([reserved.escrow])
+        )
+        assert ctx.locked_bids(request.tx_id) == []
+
+    def test_accept_for_request(self, ledger):
+        ctx, commit, reserved = ledger
+        assert ctx.accept_for_request("9" * 64) is None

@@ -1,0 +1,80 @@
+"""Driver modes, callbacks, and template integration."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.core.cluster import ClusterConfig, SmartchainCluster
+from repro.crypto.keys import keypair_from_string
+
+ALICE = keypair_from_string("alice")
+BOB = keypair_from_string("bob")
+
+
+@pytest.fixture()
+def cluster():
+    return SmartchainCluster(ClusterConfig(n_validators=4, seed=81))
+
+
+class TestModes:
+    def test_async_mode_fires_callback(self, cluster):
+        create = cluster.driver.prepare_create(ALICE, {"n": 1})
+        outcomes = []
+        cluster.driver.submit(create, callback=lambda s, d: outcomes.append(s), mode="async")
+        cluster.run()
+        assert outcomes == ["committed"]
+
+    def test_sync_mode_skips_callback(self, cluster):
+        create = cluster.driver.prepare_create(ALICE, {"n": 2})
+        outcomes = []
+        cluster.driver.submit(create, callback=lambda s, d: outcomes.append(s), mode="sync")
+        cluster.run()
+        assert outcomes == []
+        assert cluster.records[create.tx_id].committed_at is not None
+
+    def test_unknown_mode_rejected(self, cluster):
+        create = cluster.driver.prepare_create(ALICE, {"n": 3})
+        with pytest.raises(ReproError):
+            cluster.driver.submit(create, mode="turbo")
+
+    def test_submit_accepts_raw_payload(self, cluster):
+        create = cluster.driver.prepare_create(ALICE, {"n": 4})
+        result = cluster.driver.submit(create.to_dict())
+        assert result.accepted
+        assert result.tx_id == create.tx_id
+
+    def test_rejection_callback_carries_error(self, cluster):
+        transfer = cluster.driver.prepare_transfer(
+            ALICE, [("a" * 64, 0, 1)], "a" * 64, [(BOB.public_key, 1)]
+        )
+        details = []
+        cluster.driver.submit(transfer, callback=lambda s, d: details.append((s, d)))
+        cluster.run()
+        status, detail = details[0]
+        assert status == "rejected"
+        assert "not committed" in detail
+
+
+class TestTemplates:
+    def test_prepare_bid_uses_cluster_escrow(self, cluster):
+        create = cluster.driver.prepare_create(ALICE, {"capabilities": ["c"]})
+        cluster.submit_and_settle(create)
+        request = cluster.driver.prepare_request(BOB, ["c"])
+        cluster.submit_and_settle(request)
+        bid = cluster.driver.prepare_bid(
+            ALICE, request.tx_id, create.tx_id, [(create.tx_id, 0, 1)]
+        )
+        escrow_key = cluster.reserved.escrow.public_key
+        assert bid.outputs[0].public_keys == [escrow_key]
+
+    def test_prepare_accept_bid_accepts_payload_dict(self, cluster):
+        create = cluster.driver.prepare_create(ALICE, {"capabilities": ["c"]})
+        cluster.submit_and_settle(create)
+        request = cluster.driver.prepare_request(BOB, ["c"])
+        cluster.submit_and_settle(request)
+        bid = cluster.driver.prepare_bid(
+            ALICE, request.tx_id, create.tx_id, [(create.tx_id, 0, 1)]
+        )
+        cluster.submit_and_settle(bid)
+        accept = cluster.driver.prepare_accept_bid(BOB, request.tx_id, bid.to_dict())
+        record = cluster.submit_and_settle(accept)
+        assert record.committed_at is not None

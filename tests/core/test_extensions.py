@@ -1,0 +1,130 @@
+"""INTEREST / PRE_REQUEST extension types, end to end."""
+
+import pytest
+
+from repro.common.errors import SchemaValidationError, ValidationError
+from repro.core.cluster import ClusterConfig, SmartchainCluster
+from repro.core.context import ValidationContext
+from repro.core.extensions import (
+    build_interest,
+    build_pre_request,
+    interest_type,
+    pre_request_type,
+    register_marketplace_extensions,
+)
+from repro.core.validation import TransactionValidator
+from repro.crypto.keys import ReservedAccounts, keypair_from_string
+from repro.schema import default_registry
+from repro.storage.database import make_smartchaindb_database
+
+ALICE = keypair_from_string("alice")
+SALLY = keypair_from_string("sally")
+
+
+@pytest.fixture()
+def ledger():
+    database = make_smartchaindb_database()
+    ctx = ValidationContext(database, ReservedAccounts())
+    validator = TransactionValidator()
+    register_marketplace_extensions(validator)
+
+    def commit(transaction):
+        database.collection("transactions").insert_one(transaction.to_dict())
+        return transaction
+
+    return ctx, validator, commit
+
+
+class TestSchemas:
+    def test_interest_schema_loaded(self):
+        assert default_registry().validator_for("INTEREST") is not None
+
+    def test_pre_request_schema_loaded(self):
+        assert default_registry().validator_for("PRE_REQUEST") is not None
+
+    def test_interest_requires_reference(self):
+        transaction = build_interest(ALICE, "r" * 64).sign([ALICE])
+        payload = transaction.to_dict()
+        payload.pop("references")
+        with pytest.raises(SchemaValidationError):
+            default_registry().validate_transaction(payload)
+
+
+class TestInterestSemantics:
+    def test_valid_interest(self, ledger):
+        ctx, validator, commit = ledger
+        from repro.core.builders import build_request
+
+        request = commit(build_request(SALLY, ["cap"]).sign([SALLY]))
+        interest = build_interest(ALICE, request.tx_id).sign([ALICE])
+        validator.validate(ctx, interest.to_dict())
+
+    def test_interest_requires_committed_request(self, ledger):
+        ctx, validator, commit = ledger
+        interest = build_interest(ALICE, "9" * 64).sign([ALICE])
+        with pytest.raises(ValidationError):
+            validator.validate_semantics(ctx, interest.to_dict())
+
+    def test_duplicate_interest_rejected(self, ledger):
+        ctx, validator, commit = ledger
+        from repro.core.builders import build_request
+
+        request = commit(build_request(SALLY, ["cap"]).sign([SALLY]))
+        commit(build_interest(ALICE, request.tx_id).sign([ALICE]))
+        duplicate = build_interest(ALICE, request.tx_id, metadata={"again": True}).sign([ALICE])
+        with pytest.raises(ValidationError):
+            validator.validate_semantics(ctx, duplicate.to_dict())
+
+    def test_other_supplier_may_register(self, ledger):
+        ctx, validator, commit = ledger
+        from repro.core.builders import build_request
+
+        request = commit(build_request(SALLY, ["cap"]).sign([SALLY]))
+        commit(build_interest(ALICE, request.tx_id).sign([ALICE]))
+        bob = keypair_from_string("bob")
+        second = build_interest(bob, request.tx_id).sign([bob])
+        validator.validate_semantics(ctx, second.to_dict())
+
+
+class TestPreRequestSemantics:
+    def test_valid_pre_request(self, ledger):
+        ctx, validator, commit = ledger
+        draft = build_pre_request(SALLY, ["3d-print"]).sign([SALLY])
+        validator.validate(ctx, draft.to_dict())
+
+    def test_requires_capabilities(self, ledger):
+        ctx, validator, commit = ledger
+        draft = build_pre_request(SALLY, ["x"])
+        draft.asset["data"]["capabilities"] = []
+        draft.sign([SALLY])
+        with pytest.raises(ValidationError):
+            validator.validate_semantics(ctx, draft.to_dict())
+
+
+class TestClusterIntegration:
+    def test_extension_types_commit_on_cluster(self):
+        cluster = SmartchainCluster(ClusterConfig(n_validators=4, enable_extensions=True))
+        driver = cluster.driver
+        request = driver.prepare_request(SALLY, ["cap"])
+        cluster.submit_and_settle(request)
+        interest = build_interest(ALICE, request.tx_id).sign([ALICE])
+        record = cluster.submit_and_settle(interest)
+        assert record.committed_at is not None
+        draft = build_pre_request(SALLY, ["next-gen-cap"]).sign([SALLY])
+        record = cluster.submit_and_settle(draft)
+        assert record.committed_at is not None
+
+    def test_extensions_off_by_default(self):
+        cluster = SmartchainCluster(ClusterConfig(n_validators=4))
+        driver = cluster.driver
+        request = driver.prepare_request(SALLY, ["cap"])
+        cluster.submit_and_settle(request)
+        interest = build_interest(ALICE, request.tx_id).sign([ALICE])
+        outcomes = []
+        cluster.submit_payload(interest.to_dict(), callback=lambda s, d: outcomes.append(s))
+        cluster.run()
+        assert outcomes == ["rejected"]
+
+    def test_declarative_type_objects(self):
+        assert interest_type().operation == "INTEREST"
+        assert pre_request_type().operation == "PRE_REQUEST"

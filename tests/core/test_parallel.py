@@ -1,0 +1,163 @@
+"""Speculative parallel validation: access sets, conflict groups, lanes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parallel import (
+    AccessSet,
+    ConflictScheduler,
+    access_set_of,
+    parallel_validation_cost,
+)
+
+
+def payload(tx_id: str, spends=(), references=(), asset_id=None, operation="TRANSFER"):
+    return {
+        "id": tx_id,
+        "operation": operation,
+        "asset": {"id": asset_id} if asset_id else {"data": {}},
+        "inputs": [
+            {"fulfills": {"transaction_id": spent, "output_index": 0}}
+            for spent in spends
+        ]
+        or [{"fulfills": None}],
+        "references": list(references),
+    }
+
+
+class TestAccessSets:
+    def test_spent_outputs_are_writes(self):
+        access = access_set_of(payload("t1", spends=["a" * 64]))
+        assert f"utxo:{'a' * 64}:0" in access.writes
+
+    def test_references_are_reads(self):
+        access = access_set_of(payload("t1", references=["r" * 64]))
+        assert f"tx:{'r' * 64}" in access.reads
+
+    def test_accept_bid_writes_its_rfq(self):
+        access = access_set_of(
+            payload("t1", references=["r" * 64], operation="ACCEPT_BID")
+        )
+        assert f"rfq:{'r' * 64}" in access.writes
+
+    def test_conflict_rules(self):
+        writer = AccessSet("w", frozenset({"x"}), frozenset())
+        reader = AccessSet("r", frozenset(), frozenset({"x"}))
+        other = AccessSet("o", frozenset({"y"}), frozenset({"z"}))
+        assert writer.conflicts_with(reader)
+        assert reader.conflicts_with(writer)
+        assert not reader.conflicts_with(other)
+        assert not writer.conflicts_with(other)
+
+    def test_read_read_is_not_a_conflict(self):
+        left = AccessSet("l", frozenset(), frozenset({"x"}))
+        right = AccessSet("r", frozenset(), frozenset({"x"}))
+        assert not left.conflicts_with(right)
+
+
+class TestConflictGroups:
+    def test_independent_transactions_separate(self):
+        scheduler = ConflictScheduler()
+        groups = scheduler.conflict_groups(
+            [payload("t1", spends=["a" * 64]), payload("t2", spends=["b" * 64])]
+        )
+        assert len(groups) == 2
+
+    def test_double_spend_grouped(self):
+        scheduler = ConflictScheduler()
+        groups = scheduler.conflict_groups(
+            [payload("t1", spends=["a" * 64]), payload("t2", spends=["a" * 64])]
+        )
+        assert len(groups) == 1
+
+    def test_reader_after_writer_grouped(self):
+        scheduler = ConflictScheduler()
+        # t2 (ACCEPT_BID) writes rfq:R; t3 (BID) reads tx:R — different
+        # namespaces; use a BID spending what t1 created instead.
+        groups = scheduler.conflict_groups(
+            [
+                payload("t1", asset_id="c" * 64),
+                payload("t2", spends=["d" * 64], asset_id="c" * 64),
+            ]
+        )
+        assert len(groups) == 1  # shared asset lineage
+
+    def test_transitive_chaining(self):
+        scheduler = ConflictScheduler()
+        groups = scheduler.conflict_groups(
+            [
+                payload("t1", spends=["a" * 64]),
+                payload("t2", spends=["a" * 64, "b" * 64]),
+                payload("t3", spends=["b" * 64]),
+                payload("t4", spends=["z" * 64]),
+            ]
+        )
+        sizes = sorted(len(group) for group in groups)
+        assert sizes == [1, 3]
+
+    def test_competing_accepts_on_same_rfq_grouped(self):
+        scheduler = ConflictScheduler()
+        groups = scheduler.conflict_groups(
+            [
+                payload("t1", references=["r" * 64], operation="ACCEPT_BID",
+                        spends=["a" * 64]),
+                payload("t2", references=["r" * 64], operation="ACCEPT_BID",
+                        spends=["b" * 64]),
+            ]
+        )
+        assert len(groups) == 1
+
+    def test_bids_on_same_rfq_stay_parallel(self):
+        """Many BIDs referencing one REQUEST only *read* it — they can
+        validate in parallel (the higher-abstraction win over raw
+        read/write sets)."""
+        scheduler = ConflictScheduler()
+        groups = scheduler.conflict_groups(
+            [
+                payload(f"t{index}", spends=[f"{index:064d}"[-64:]],
+                        references=["r" * 64], operation="BID")
+                for index in range(5)
+            ]
+        )
+        assert len(groups) == 5
+
+
+class TestScheduling:
+    def test_parallel_cost_is_max_lane(self):
+        scheduler = ConflictScheduler(lanes=2)
+        payloads = [payload(f"t{index}", spends=[f"{index:064d}"[-64:]]) for index in range(4)]
+        schedule = scheduler.schedule(payloads, cost_of=lambda p: 1.0)
+        assert schedule.serial_cost == 4.0
+        assert schedule.parallel_cost == 2.0
+        assert schedule.speedup == 2.0
+
+    def test_conflicting_block_gets_no_speedup(self):
+        scheduler = ConflictScheduler(lanes=4)
+        payloads = [payload(f"t{index}", spends=["a" * 64]) for index in range(4)]
+        schedule = scheduler.schedule(payloads, cost_of=lambda p: 1.0)
+        assert schedule.parallel_cost == schedule.serial_cost
+
+    def test_single_lane_is_serial(self):
+        payloads = [payload(f"t{index}", spends=[f"{index:064d}"[-64:]]) for index in range(3)]
+        assert parallel_validation_cost(payloads, lambda p: 1.0, lanes=1) == 3.0
+
+    def test_lanes_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ConflictScheduler(lanes=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=12),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_parallel_never_exceeds_serial_property(self, spend_keys, lanes):
+        """max-lane cost <= serial cost, and >= serial/lanes (work bound)."""
+        payloads = [
+            payload(f"{index:064d}"[-64:], spends=[f"{key:064d}"[-64:]])
+            for index, key in enumerate(spend_keys)
+        ]
+        serial = parallel_validation_cost(payloads, lambda p: 1.0, lanes=1)
+        parallel = parallel_validation_cost(payloads, lambda p: 1.0, lanes=lanes)
+        assert parallel <= serial + 1e-9
+        assert parallel >= serial / lanes - 1e-9

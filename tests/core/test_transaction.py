@@ -1,0 +1,112 @@
+"""The transaction object: ids, signing, serialisation, integrity."""
+
+import pytest
+
+from repro.common.errors import SchemaValidationError, ValidationError
+from repro.core.builders import build_create, build_transfer
+from repro.core.transaction import Input, Output, OutputRef, Transaction
+from repro.crypto.keys import keypair_from_string
+
+ALICE = keypair_from_string("alice")
+BOB = keypair_from_string("bob")
+
+
+class TestSigningAndIds:
+    def test_sign_sets_id(self):
+        transaction = build_create(ALICE, {"name": "widget"})
+        assert transaction.tx_id is None
+        transaction.sign([ALICE])
+        assert transaction.tx_id is not None
+        assert transaction.verify_id()
+
+    def test_id_is_content_hash(self):
+        left = build_create(ALICE, {"name": "widget"}).sign([ALICE])
+        right = build_create(ALICE, {"name": "widget"}).sign([ALICE])
+        assert left.tx_id == right.tx_id  # deterministic signing => same id
+
+    def test_different_content_different_id(self):
+        left = build_create(ALICE, {"name": "widget"}).sign([ALICE])
+        right = build_create(ALICE, {"name": "gadget"}).sign([ALICE])
+        assert left.tx_id != right.tx_id
+
+    def test_signatures_verify(self):
+        transaction = build_create(ALICE, {"name": "w"}).sign([ALICE])
+        assert transaction.verify_signatures()
+
+    def test_wrong_signer_raises(self):
+        transaction = build_create(ALICE, {"name": "w"})
+        with pytest.raises(ValidationError):
+            transaction.sign([BOB])
+
+    def test_tampered_asset_breaks_id(self):
+        transaction = build_create(ALICE, {"name": "w"}).sign([ALICE])
+        payload = transaction.to_dict()
+        payload["asset"]["data"]["name"] = "tampered"
+        assert not Transaction.from_dict(payload).verify_id()
+
+    def test_tampered_output_breaks_signature(self):
+        transaction = build_create(ALICE, {"name": "w"}).sign([ALICE])
+        payload = transaction.to_dict()
+        payload["outputs"][0]["public_keys"] = [BOB.public_key]
+        payload["outputs"][0]["condition"]["public_keys"] = [BOB.public_key]
+        parsed = Transaction.from_dict(payload)
+        assert not parsed.verify_signatures()
+
+    def test_unsigned_serialisation_rejected(self):
+        with pytest.raises(ValidationError):
+            build_create(ALICE, {"name": "w"}).to_dict()
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        transaction = build_create(ALICE, {"name": "w"}, amount=5).sign([ALICE])
+        payload = transaction.to_dict()
+        rebuilt = Transaction.from_dict(payload)
+        assert rebuilt.to_dict() == payload
+
+    def test_roundtrip_transfer(self):
+        create = build_create(ALICE, {"name": "w"}).sign([ALICE])
+        transfer = build_transfer(
+            ALICE, [(create.tx_id, 0, 1)], create.tx_id, [(BOB.public_key, 1)]
+        ).sign([ALICE])
+        rebuilt = Transaction.from_dict(transfer.to_dict())
+        assert rebuilt.verify_id()
+        assert rebuilt.verify_signatures()
+        assert rebuilt.spent_refs() == [OutputRef(create.tx_id, 0)]
+
+    def test_from_dict_malformed(self):
+        with pytest.raises(SchemaValidationError):
+            Transaction.from_dict({"operation": "CREATE"})
+
+    def test_size_bytes_grows_with_content(self):
+        small = build_create(ALICE, {"name": "w"}).sign([ALICE])
+        big = build_create(ALICE, {"name": "w", "fill": "x" * 2000}).sign([ALICE])
+        assert big.size_bytes() > small.size_bytes() + 1500
+
+
+class TestAccessors:
+    def test_asset_id_for_genesis_is_own_id(self):
+        create = build_create(ALICE, {"name": "w"}).sign([ALICE])
+        assert create.asset_id() == create.tx_id
+
+    def test_asset_id_for_transfer_is_link(self):
+        create = build_create(ALICE, {"name": "w"}).sign([ALICE])
+        transfer = build_transfer(
+            ALICE, [(create.tx_id, 0, 1)], create.tx_id, [(BOB.public_key, 1)]
+        ).sign([ALICE])
+        assert transfer.asset_id() == create.tx_id
+
+    def test_repr_contains_operation(self):
+        transaction = build_create(ALICE, {"name": "w"}).sign([ALICE])
+        assert "CREATE" in repr(transaction)
+
+    def test_output_for_owner_roundtrip(self):
+        output = Output.for_owner(ALICE.public_key, 3, owners_before=[BOB.public_key])
+        rebuilt = Output.from_dict(output.to_dict())
+        assert rebuilt.amount == 3
+        assert rebuilt.owners_before == [BOB.public_key]
+
+    def test_input_roundtrip_with_null_fulfills(self):
+        item = Input(owners_before=[ALICE.public_key], fulfills=None)
+        rebuilt = Input.from_dict(item.to_dict())
+        assert rebuilt.fulfills is None

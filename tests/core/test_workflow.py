@@ -1,0 +1,126 @@
+"""Transaction workflows (Definition 5)."""
+
+import pytest
+
+from repro.common.errors import WorkflowError
+from repro.core.builders import build_accept_bid, build_bid, build_create, build_request, build_transfer
+from repro.core.workflow import (
+    MARKETPLACE_WORKFLOWS,
+    WorkflowEngine,
+    WorkflowSpec,
+    WorkflowTrace,
+)
+from repro.crypto.keys import ReservedAccounts, keypair_from_string
+
+ALICE = keypair_from_string("alice")
+BOB = keypair_from_string("bob")
+SALLY = keypair_from_string("sally")
+RESERVED = ReservedAccounts()
+
+
+class TestWorkflowSpec:
+    def test_exact_match(self):
+        spec = WorkflowSpec("ct", ("CREATE", "TRANSFER"))
+        assert spec.matches(["CREATE", "TRANSFER"])
+        assert not spec.matches(["CREATE"])
+        assert not spec.matches(["CREATE", "TRANSFER", "TRANSFER"])
+
+    def test_repeatable_position(self):
+        spec = WorkflowSpec("auction", ("CREATE", "BID", "ACCEPT_BID"), repeatable=frozenset({1}))
+        assert spec.matches(["CREATE", "BID", "ACCEPT_BID"])
+        assert spec.matches(["CREATE", "BID", "BID", "BID", "ACCEPT_BID"])
+        assert not spec.matches(["CREATE", "ACCEPT_BID"])
+
+    def test_marketplace_workflows_registered(self):
+        names = {spec.name for spec in MARKETPLACE_WORKFLOWS}
+        assert "reverse-auction" in names
+        assert "create-transfer" in names
+
+
+class TestWorkflowEngine:
+    def payloads_for_auction(self):
+        create = build_create(ALICE, {"capabilities": ["3d-print"]}).sign([ALICE])
+        request = build_request(SALLY, ["3d-print"]).sign([SALLY])
+        bid = build_bid(
+            ALICE, request.tx_id, create.tx_id, [(create.tx_id, 0, 1)],
+            RESERVED.escrow.public_key,
+        ).sign([ALICE])
+        accept = build_accept_bid(SALLY, request.tx_id, bid).sign([SALLY])
+        transfer = build_transfer(
+            SALLY, [(accept.tx_id, 0, 1)], bid.tx_id, [(SALLY.public_key, 1)]
+        ).sign([SALLY])
+        return [create, request, bid, accept, transfer]
+
+    def test_reverse_auction_classified(self):
+        engine = WorkflowEngine()
+        payloads = [t.to_dict() for t in self.payloads_for_auction()]
+        # REQUEST starts its own chain; the canonical paper sequence
+        # begins at CREATE with the REQUEST woven in.
+        spec = engine.classify(payloads)
+        assert spec.name == "reverse-auction"
+
+    def test_create_transfer_classified(self):
+        engine = WorkflowEngine()
+        create = build_create(ALICE, {"n": 1}).sign([ALICE])
+        transfer = build_transfer(
+            ALICE, [(create.tx_id, 0, 1)], create.tx_id, [(BOB.public_key, 1)]
+        ).sign([ALICE])
+        spec = engine.classify([create.to_dict(), transfer.to_dict()])
+        assert spec.name == "create-transfer"
+
+    def test_single_create_classified(self):
+        engine = WorkflowEngine()
+        create = build_create(ALICE, {"n": 1}).sign([ALICE])
+        assert engine.classify([create.to_dict()]).name == "create"
+
+    def test_unknown_shape_rejected(self):
+        engine = WorkflowEngine()
+        request = build_request(SALLY, ["x"]).sign([SALLY])
+        with pytest.raises(WorkflowError):
+            engine.classify([request.to_dict(), request.to_dict()])
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(WorkflowError):
+            WorkflowEngine().classify([])
+
+    def test_head_must_have_null_input(self):
+        engine = WorkflowEngine()
+        create = build_create(ALICE, {"n": 1}).sign([ALICE])
+        transfer = build_transfer(
+            ALICE, [(create.tx_id, 0, 1)], create.tx_id, [(BOB.public_key, 1)]
+        ).sign([ALICE])
+        # Register a spec that would structurally allow TRANSFER first.
+        engine.register(WorkflowSpec("bad", ("TRANSFER",)))
+        with pytest.raises(WorkflowError):
+            engine.classify([transfer.to_dict()])
+
+    def test_inputs_must_come_from_the_workflow(self):
+        engine = WorkflowEngine()
+        create_a = build_create(ALICE, {"n": 1}).sign([ALICE])
+        create_b = build_create(ALICE, {"n": 2}).sign([ALICE])
+        transfer_of_b = build_transfer(
+            ALICE, [(create_b.tx_id, 0, 1)], create_b.tx_id, [(BOB.public_key, 1)]
+        ).sign([ALICE])
+        with pytest.raises(WorkflowError):
+            engine.classify([create_a.to_dict(), transfer_of_b.to_dict()])
+
+    def test_custom_spec_registration(self):
+        engine = WorkflowEngine()
+        engine.register(WorkflowSpec("mint-only", ("CREATE", "CREATE"), repeatable=frozenset({1})))
+        create_1 = build_create(ALICE, {"n": 1}).sign([ALICE])
+        create_2 = build_create(ALICE, {"n": 2}).sign([ALICE])
+        # CREATE-CREATE isn't a marketplace workflow, but is now registered.
+        spec = engine.classify([create_1.to_dict(), create_2.to_dict()])
+        assert spec.name == "mint-only"
+
+
+class TestWorkflowTrace:
+    def test_groups_by_asset(self):
+        trace = WorkflowTrace()
+        create = build_create(ALICE, {"n": 1}).sign([ALICE])
+        transfer = build_transfer(
+            ALICE, [(create.tx_id, 0, 1)], create.tx_id, [(BOB.public_key, 1)]
+        ).sign([ALICE])
+        trace.observe(create.to_dict())
+        trace.observe(transfer.to_dict())
+        assert trace.operations_for(create.tx_id) == ["CREATE", "TRANSFER"]

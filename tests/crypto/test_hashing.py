@@ -1,0 +1,65 @@
+"""Hashing helpers and transaction-id derivation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import (
+    hash_document,
+    is_sha3_hexdigest,
+    keccak_like_slot,
+    sha3_256_hex,
+)
+
+json_scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(min_value=-1000, max_value=1000), st.text(max_size=10)
+)
+json_documents = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=5), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestHashDocument:
+    def test_key_order_invariant(self):
+        assert hash_document({"a": 1, "b": 2}) == hash_document({"b": 2, "a": 1})
+
+    def test_value_change_changes_hash(self):
+        assert hash_document({"a": 1}) != hash_document({"a": 2})
+
+    def test_produces_sha3_hexdigest(self):
+        assert is_sha3_hexdigest(hash_document({"x": 1}))
+
+    def test_known_sha3(self):
+        # SHA3-256 of empty string.
+        assert sha3_256_hex(b"") == (
+            "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"
+        )
+
+    @given(json_documents)
+    def test_deterministic_property(self, document):
+        assert hash_document(document) == hash_document(document)
+
+
+class TestIsSha3Hexdigest:
+    def test_accepts_valid(self):
+        assert is_sha3_hexdigest("a" * 64)
+
+    def test_rejects_short_long_upper_and_nonstring(self):
+        assert not is_sha3_hexdigest("a" * 63)
+        assert not is_sha3_hexdigest("a" * 65)
+        assert not is_sha3_hexdigest("A" * 64)
+        assert not is_sha3_hexdigest(12345)
+
+
+class TestKeccakLikeSlot:
+    def test_256_bit_range(self):
+        slot = keccak_like_slot(b"mapping-key")
+        assert 0 <= slot < (1 << 256)
+
+    def test_distinct_keys_scatter(self):
+        slots = {keccak_like_slot(bytes([i])) for i in range(64)}
+        assert len(slots) == 64

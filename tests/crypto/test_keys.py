@@ -1,0 +1,78 @@
+"""Key pairs, reserved accounts, signature helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import InvalidKeyError
+from repro.crypto.keys import (
+    KeyPair,
+    ReservedAccounts,
+    generate_keypair,
+    keypair_from_string,
+    verify_signature,
+)
+
+
+class TestKeyPair:
+    def test_deterministic_from_seed(self):
+        left = generate_keypair(b"\x07" * 32)
+        right = generate_keypair(b"\x07" * 32)
+        assert left == right
+
+    def test_distinct_seeds_distinct_keys(self):
+        assert generate_keypair(b"\x01" * 32) != generate_keypair(b"\x02" * 32)
+
+    def test_bad_seed_length(self):
+        with pytest.raises(InvalidKeyError):
+            generate_keypair(b"short")
+
+    def test_sign_and_verify(self):
+        keypair = generate_keypair(b"\x03" * 32)
+        signature = keypair.sign(b"payload")
+        assert keypair.verify(b"payload", signature)
+        assert not keypair.verify(b"other", signature)
+
+    def test_verify_signature_cross_key_fails(self):
+        signer = generate_keypair(b"\x04" * 32)
+        other = generate_keypair(b"\x05" * 32)
+        signature = signer.sign(b"m")
+        assert verify_signature(signer.public_key, b"m", signature)
+        assert not verify_signature(other.public_key, b"m", signature)
+
+    def test_verify_signature_garbage_inputs(self):
+        assert not verify_signature("not-base58-0OIl", b"m", "sig")
+        keypair = generate_keypair(b"\x06" * 32)
+        assert not verify_signature(keypair.public_key, b"m", "!!!")
+
+    def test_keypair_from_string_deterministic(self):
+        assert keypair_from_string("alice") == keypair_from_string("alice")
+        assert keypair_from_string("alice") != keypair_from_string("bob")
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.text(min_size=1, max_size=20))
+    def test_string_derivation_always_signs(self, material):
+        keypair = keypair_from_string(material)
+        assert keypair.verify(b"x", keypair.sign(b"x"))
+
+
+class TestReservedAccounts:
+    def test_escrow_is_reserved(self):
+        reserved = ReservedAccounts()
+        assert reserved.is_reserved(reserved.escrow.public_key)
+
+    def test_unknown_key_not_reserved(self):
+        reserved = ReservedAccounts()
+        outsider = generate_keypair(b"\x09" * 32)
+        assert not reserved.is_reserved(outsider.public_key)
+
+    def test_admins_are_reserved(self):
+        admin = generate_keypair(b"\x0a" * 32)
+        reserved = ReservedAccounts(admins=[admin])
+        assert reserved.is_reserved(admin.public_key)
+        assert len(reserved.public_keys()) == 2
+
+    def test_escrow_is_deterministic_per_deployment(self):
+        # Same derivation string -> same escrow across node instances,
+        # which the cluster relies on for replicated RETURN building.
+        assert ReservedAccounts().escrow == ReservedAccounts().escrow

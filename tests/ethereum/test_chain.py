@@ -1,0 +1,103 @@
+"""QuorumChain + Web3Client end to end."""
+
+import pytest
+
+from repro.consensus.ibft import ibft_config
+from repro.ethereum.chain import QuorumChain, QuorumChainConfig
+from repro.ethereum.client import Web3Client
+from repro.ethereum.gas import G_TRANSACTION
+
+ACCOUNTS = [f"0xuser{i}" for i in range(4)]
+
+
+@pytest.fixture()
+def deployed():
+    chain = QuorumChain(QuorumChainConfig(n_validators=4, seed=5), accounts=ACCOUNTS)
+    client = Web3Client(chain)
+    record = client.deploy("ReverseAuctionMarketplace", "market", ACCOUNTS[0])
+    assert record.success
+    return chain, client
+
+
+class TestNativeVsContractTransfer:
+    def test_fig2_structure(self, deployed):
+        """Fig. 2: contract TRANSFER costs ~40% more gas and is slower."""
+        chain, client = deployed
+        client.transact("market", "create_asset", [["cap"], ""], ACCOUNTS[1])
+        native = client.native_transfer(ACCOUNTS[0], ACCOUNTS[2], 10)
+        contract = client.transact("market", "transfer_asset", [1, ACCOUNTS[2]], ACCOUNTS[1])
+        assert native.gas_used == G_TRANSACTION
+        ratio = contract.gas_used / native.gas_used
+        assert 1.2 <= ratio <= 2.0
+        assert contract.latency > native.latency
+
+
+class TestReplication:
+    def test_state_identical_across_validators(self, deployed):
+        chain, client = deployed
+        client.transact("market", "create_asset", [["cap-a", "cap-b"], "m"], ACCOUNTS[1])
+        client.transact("market", "create_rfq", [["cap-a"], "m"], ACCOUNTS[0])
+        mirrors = []
+        for application in chain.applications.values():
+            address = application.deployed["market"]
+            mirrors.append(application.runtime.contracts[address]._mirror)
+        for mirror in mirrors[1:]:
+            assert mirror == mirrors[0]
+
+    def test_failed_call_reported(self, deployed):
+        chain, client = deployed
+        record = client.transact("market", "create_asset", [[], ""], ACCOUNTS[1])
+        assert record.success is False
+        assert record.committed_at is not None  # failed txs still land in blocks
+
+
+class TestGasLimitEffects:
+    def test_block_gas_limit_throttles_heavy_txs(self):
+        """Heavy contract txs pack few-per-block: the fig7 mechanism."""
+        chain = QuorumChain(
+            QuorumChainConfig(
+                n_validators=4,
+                seed=6,
+                consensus=ibft_config(block_gas_limit=1_300_000, block_period=0.2),
+            ),
+            accounts=ACCOUNTS,
+        )
+        client = Web3Client(chain)
+        client.deploy("ReverseAuctionMarketplace", "market", ACCOUNTS[0])
+        big_caps = [f"capability-{i}-" + "x" * 60 for i in range(6)]
+        for index in range(4):
+            client.transact("market", "create_asset", [big_caps, "m"], ACCOUNTS[1], settle=False)
+        chain.run()
+        committed = [r for r in chain.committed_records() if r.method == "create_asset"]
+        assert len(committed) == 4
+        heights = {}
+        for record in chain.engine.commits:
+            for envelope in record.block.transactions:
+                heights.setdefault(record.block.height, []).append(envelope.tx_id)
+        # With ~300k-gas transactions and a 600k limit, blocks hold <= 2.
+        for txs in heights.values():
+            assert len(txs) <= 2
+
+    def test_estimates_close_to_actuals(self, deployed):
+        chain, client = deployed
+        record = client.transact("market", "create_asset", [["one", "two"], "meta"], ACCOUNTS[1])
+        assert record.gas_used is not None
+        assert record.gas_estimate == pytest.approx(record.gas_used, rel=0.8)
+
+
+class TestViews:
+    def test_call_view_reads_state(self, deployed):
+        chain, client = deployed
+        client.transact("market", "create_asset", [["cap"], ""], ACCOUNTS[1])
+        assert client.call_view("market", "asset_owner", [1]) == ACCOUNTS[1]
+
+    def test_view_on_missing_contract(self, deployed):
+        chain, client = deployed
+        from repro.common.errors import EvmError
+
+        with pytest.raises(EvmError):
+            client.call_view("ghost", "asset_owner", [1])
+
+    def test_balance_view(self, deployed):
+        chain, client = deployed
+        assert client.balance(ACCOUNTS[0]) > 0

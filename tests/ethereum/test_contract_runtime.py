@@ -1,0 +1,129 @@
+"""Contract runtime: deployment, dispatch, revert rollback, native transfer."""
+
+import pytest
+
+from repro.ethereum.contract import CallContext, Contract, EvmRuntime
+from repro.ethereum.gas import G_TRANSACTION
+
+
+class Counter(Contract):
+    """Tiny contract for runtime mechanics tests."""
+
+    def __init__(self, address, state):
+        super().__init__(address, state)
+        self._mirror = {"count": 0}
+
+    def constructor(self, ctx):
+        ctx.storage.sstore(0, 0)
+
+    def increment(self, ctx, by: int = 1):
+        ctx.require(by > 0, "must increment positively")
+        self._mirror["count"] += by
+        ctx.storage.sstore(0, self._mirror["count"])
+        return self._mirror["count"]
+
+    def boom(self, ctx):
+        self._mirror["count"] = 999
+        ctx.storage.sstore(0, 999)
+        ctx.require(False, "always reverts")
+
+    def pay_out(self, ctx, to: str, amount: int):
+        ctx.send_value(self.state, self.address, to, amount)
+
+    def log_something(self, ctx):
+        ctx.emit("Something", value=42)
+
+
+@pytest.fixture()
+def runtime():
+    runtime = EvmRuntime()
+    address, result = runtime.deploy(Counter, "0xdeployer")
+    assert result.success
+    return runtime, address
+
+
+class TestDeployment:
+    def test_deploy_charges_gas(self, runtime):
+        rt, address = runtime
+        assert rt.receipts[0].gas_used > G_TRANSACTION
+
+    def test_distinct_addresses(self):
+        rt = EvmRuntime()
+        first, _ = rt.deploy(Counter, "0xd")
+        second, _ = rt.deploy(Counter, "0xd")
+        assert first != second
+
+
+class TestExecution:
+    def test_successful_call_mutates(self, runtime):
+        rt, address = runtime
+        result = rt.execute_call(address, "increment", [5], sender="0xuser")
+        assert result.success
+        assert result.return_value == 5
+        assert rt.contracts[address]._mirror["count"] == 5
+
+    def test_revert_rolls_back_state(self, runtime):
+        rt, address = runtime
+        rt.execute_call(address, "increment", [1], sender="0xuser")
+        result = rt.execute_call(address, "boom", [], sender="0xuser")
+        assert not result.success
+        assert "always reverts" in result.error
+        # Both the mirror and raw storage must be rolled back.
+        assert rt.contracts[address]._mirror["count"] == 1
+        assert rt.state.account(address).storage[0] == 1
+
+    def test_revert_still_charges_gas(self, runtime):
+        rt, address = runtime
+        result = rt.execute_call(address, "boom", [], sender="0xuser")
+        assert result.gas_used > G_TRANSACTION
+
+    def test_out_of_gas_fails_and_rolls_back(self, runtime):
+        rt, address = runtime
+        result = rt.execute_call(address, "increment", [1], sender="0xuser", gas_limit=21_500)
+        assert not result.success
+        assert rt.contracts[address]._mirror["count"] == 0
+
+    def test_unknown_method_reverts(self, runtime):
+        rt, address = runtime
+        result = rt.execute_call(address, "nonexistent", [], sender="0xuser")
+        assert not result.success
+
+    def test_unknown_contract(self, runtime):
+        rt, _ = runtime
+        result = rt.execute_call("0xghost", "increment", [1], sender="0xuser")
+        assert not result.success
+
+    def test_value_transfer_into_contract(self, runtime):
+        rt, address = runtime
+        rt.state.credit("0xuser", 1_000)
+        result = rt.execute_call(address, "increment", [1], sender="0xuser", value=400)
+        assert result.success
+        assert rt.state.balance(address) == 400
+        assert rt.state.balance("0xuser") == 600
+
+    def test_contract_pays_out(self, runtime):
+        rt, address = runtime
+        rt.state.credit(address, 500)
+        result = rt.execute_call(address, "pay_out", ["0xrecipient", 200], sender="0xuser")
+        assert result.success
+        assert rt.state.balance("0xrecipient") == 200
+
+    def test_event_logs_captured(self, runtime):
+        rt, address = runtime
+        result = rt.execute_call(address, "log_something", [], sender="0xuser")
+        assert result.logs == [{"event": "Something", "value": 42}]
+
+
+class TestNativeTransfer:
+    def test_costs_exactly_21000(self):
+        rt = EvmRuntime()
+        rt.state.credit("0xa", 100)
+        result = rt.native_transfer("0xa", "0xb", 40)
+        assert result.success
+        assert result.gas_used == G_TRANSACTION
+        assert rt.state.balance("0xb") == 40
+
+    def test_insufficient_funds_fails(self):
+        rt = EvmRuntime()
+        result = rt.native_transfer("0xa", "0xb", 40)
+        assert not result.success

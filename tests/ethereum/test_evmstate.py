@@ -1,0 +1,96 @@
+"""World state and metered storage slots."""
+
+import pytest
+
+from repro.common.errors import RevertError
+from repro.ethereum.evmstate import StorageView, WorldState
+from repro.ethereum.gas import G_SLOAD_COLD, G_SLOAD_WARM, G_SSTORE_SET, GasMeter
+
+
+@pytest.fixture()
+def view():
+    state = WorldState()
+    meter = GasMeter(limit=100_000_000)
+    return state, meter, StorageView(state, "0xcontract", meter)
+
+
+class TestWorldState:
+    def test_balances(self):
+        state = WorldState()
+        state.credit("0xa", 100)
+        state.debit("0xa", 30)
+        assert state.balance("0xa") == 70
+
+    def test_insufficient_balance_reverts(self):
+        state = WorldState()
+        with pytest.raises(RevertError):
+            state.debit("0xa", 1)
+
+    def test_fresh_account_is_zeroed(self):
+        state = WorldState()
+        account = state.account("0xnew")
+        assert account.balance == 0
+        assert account.storage == {}
+
+
+class TestStorageView:
+    def test_sstore_then_sload(self, view):
+        state, meter, storage = view
+        storage.sstore(5, 42)
+        assert storage.sload(5) == 42
+
+    def test_unset_slot_reads_zero(self, view):
+        state, meter, storage = view
+        assert storage.sload(99) == 0
+
+    def test_cold_vs_warm_pricing(self, view):
+        state, meter, storage = view
+        storage.sload(7)
+        cold_total = meter.used
+        storage.sload(7)
+        assert meter.used - cold_total == G_SLOAD_WARM
+        assert cold_total == G_SLOAD_COLD
+
+    def test_set_pricing(self, view):
+        state, meter, storage = view
+        before = meter.used
+        storage.sstore(1, 1)
+        assert meter.used - before == G_SSTORE_SET
+
+    def test_clear_refunds(self, view):
+        state, meter, storage = view
+        storage.sstore(1, 1)
+        storage.sstore(1, 0)
+        assert meter.refund > 0
+        assert state.account("0xcontract").storage.get(1) is None
+
+    def test_mapping_slots_scatter(self, view):
+        state, meter, storage = view
+        slots = {storage.mapping_slot(3, f"key{i}") for i in range(32)}
+        assert len(slots) == 32
+
+    def test_mapping_slot_deterministic(self, view):
+        state, meter, storage = view
+        assert storage.mapping_slot(3, "k") == storage.mapping_slot(3, "k")
+
+    def test_array_slots_contiguous(self, view):
+        state, meter, storage = view
+        base = storage.array_data_slot(4, 0)
+        assert storage.array_data_slot(4, 1) == (base + 1) % (1 << 256)
+
+    def test_store_string_uses_length_plus_words(self, view):
+        state, meter, storage = view
+        storage.store_string(10, "x" * 70)  # 3 words + length
+        contract_storage = state.account("0xcontract").storage
+        assert contract_storage[10] == 70
+        assert len(contract_storage) == 4
+
+    def test_longer_strings_cost_more(self, view):
+        state, meter, storage = view
+        before = meter.used
+        storage.store_string(20, "a" * 32)
+        short_cost = meter.used - before
+        before = meter.used
+        storage.store_string(21, "a" * 320)
+        long_cost = meter.used - before
+        assert long_cost > short_cost * 3

@@ -1,0 +1,58 @@
+"""Gas schedule and metering."""
+
+import pytest
+
+from repro.common.errors import OutOfGasError
+from repro.ethereum.gas import (
+    G_TRANSACTION,
+    GasMeter,
+    calldata_gas,
+    execution_seconds,
+    keccak_gas,
+    words,
+)
+
+
+class TestHelpers:
+    def test_words(self):
+        assert words(0) == 0
+        assert words(1) == 1
+        assert words(32) == 1
+        assert words(33) == 2
+
+    def test_keccak_gas_grows_with_length(self):
+        assert keccak_gas(256) > keccak_gas(32)
+        assert keccak_gas(32) == 30 + 6
+
+    def test_calldata_gas_zero_vs_nonzero(self):
+        assert calldata_gas(b"\x00" * 10) == 40
+        assert calldata_gas(b"\x01" * 10) == 160
+
+    def test_execution_seconds_positive_and_monotonic(self):
+        assert execution_seconds(21_000) > 0
+        assert execution_seconds(1_000_000) > execution_seconds(21_000)
+
+
+class TestGasMeter:
+    def test_charge_accumulates(self):
+        meter = GasMeter(limit=100_000)
+        meter.charge(G_TRANSACTION)
+        meter.charge(1_000)
+        assert meter.used == 22_000
+
+    def test_out_of_gas(self):
+        meter = GasMeter(limit=1_000)
+        with pytest.raises(OutOfGasError):
+            meter.charge(2_000)
+
+    def test_refund_capped_at_fifth(self):
+        meter = GasMeter(limit=1_000_000)
+        meter.charge(100_000)
+        meter.add_refund(50_000)
+        assert meter.effective == 100_000 - 20_000
+
+    def test_small_refund_taken_fully(self):
+        meter = GasMeter(limit=1_000_000)
+        meter.charge(100_000)
+        meter.add_refund(5_000)
+        assert meter.effective == 95_000

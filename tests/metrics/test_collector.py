@@ -1,0 +1,70 @@
+"""Metric calculation per the paper's definitions (5.1.4)."""
+
+from dataclasses import dataclass
+
+from repro.metrics.collector import OperationStats, collect_metrics
+from repro.metrics.report import format_series, format_table, ratio
+
+
+@dataclass
+class FakeRecord:
+    operation: str
+    submitted_at: float
+    committed_at: float | None
+
+
+class TestCollectMetrics:
+    def test_latency_per_operation(self):
+        records = [
+            FakeRecord("CREATE", 0.0, 1.0),
+            FakeRecord("CREATE", 0.0, 3.0),
+            FakeRecord("BID", 1.0, 2.0),
+        ]
+        metrics = collect_metrics("SCDB", records)
+        assert metrics.latency("CREATE") == 2.0
+        assert metrics.latency("BID") == 1.0
+
+    def test_throughput_definition(self):
+        """committed / (last commit - first reception)."""
+        records = [
+            FakeRecord("CREATE", 0.0, 2.0),
+            FakeRecord("CREATE", 1.0, 4.0),
+            FakeRecord("CREATE", 2.0, 10.0),
+        ]
+        metrics = collect_metrics("SCDB", records)
+        assert metrics.throughput_tps == 3 / 10.0
+
+    def test_uncommitted_excluded_from_latency(self):
+        records = [FakeRecord("BID", 0.0, 1.0), FakeRecord("BID", 0.0, None)]
+        metrics = collect_metrics("SCDB", records)
+        assert metrics.per_operation["BID"].count == 1
+        assert metrics.committed == 1
+        assert metrics.submitted == 2
+
+    def test_missing_operation_is_inf(self):
+        metrics = collect_metrics("SCDB", [])
+        assert metrics.latency("BID") == float("inf")
+
+    def test_operation_stats_percentiles(self):
+        stats = OperationStats.from_latencies("X", [1.0, 2.0, 3.0, 4.0, 100.0])
+        assert stats.median_latency == 3.0
+        assert stats.max_latency == 100.0
+        assert stats.p95_latency == 100.0
+        assert stats.count == 5
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["op", "latency"], [["CREATE", 0.5], ["BID", 12.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "CREATE" in text and "BID" in text
+
+    def test_format_series(self):
+        text = format_series("fig7a", [1, 2], [0.1, 0.2], "size", "latency")
+        assert "fig7a" in text
+        assert "size" in text
+
+    def test_ratio(self):
+        assert ratio(10, 2) == 5
+        assert ratio(1, 0) == float("inf")

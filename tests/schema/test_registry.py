@@ -1,0 +1,83 @@
+"""Transaction schema registry (Algorithm 1 end to end)."""
+
+import pytest
+
+from repro.common.errors import SchemaValidationError, UnknownOperationError
+from repro.core.builders import build_create, build_request
+from repro.crypto.keys import keypair_from_string
+from repro.schema import OPERATION_SCHEMAS, SchemaRegistry, default_registry
+
+ALICE = keypair_from_string("alice")
+
+
+def valid_create_payload() -> dict:
+    return build_create(ALICE, {"name": "widget"}).sign([ALICE]).to_dict()
+
+
+class TestRegistry:
+    def test_all_operations_have_schemas(self):
+        registry = SchemaRegistry()
+        for operation in OPERATION_SCHEMAS:
+            assert registry.validator_for(operation) is not None
+
+    def test_default_registry_is_shared(self):
+        assert default_registry() is default_registry()
+
+    def test_unknown_operation(self):
+        with pytest.raises(UnknownOperationError):
+            default_registry().validator_for("MINT")
+
+    def test_valid_create_passes(self):
+        default_registry().validate_transaction(valid_create_payload())
+
+    def test_valid_request_passes(self):
+        payload = build_request(ALICE, ["3d-print"]).sign([ALICE]).to_dict()
+        default_registry().validate_transaction(payload)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p.pop("id"),
+            lambda p: p.pop("outputs"),
+            lambda p: p.__setitem__("id", "not-a-digest"),
+            lambda p: p.__setitem__("version", "9.9"),
+            lambda p: p.__setitem__("outputs", []),
+            lambda p: p.__setitem__("extra_field", 1),
+            lambda p: p["outputs"][0].__setitem__("amount", 0),
+            lambda p: p["outputs"][0].__setitem__("amount", "one"),
+            lambda p: p["inputs"][0].pop("fulfillment"),
+        ],
+    )
+    def test_structural_mutations_rejected(self, mutate):
+        payload = valid_create_payload()
+        mutate(payload)
+        with pytest.raises(SchemaValidationError):
+            default_registry().validate_transaction(payload)
+
+    def test_operation_outside_reserved_set_rejected(self):
+        payload = valid_create_payload()
+        payload["operation"] = "EXOTIC_OP"
+        with pytest.raises(SchemaValidationError):
+            default_registry().validate_transaction(payload)
+
+    def test_metadata_language_key_checked(self):
+        payload = valid_create_payload()
+        payload["metadata"] = {"$injection": 1}
+        with pytest.raises(SchemaValidationError):
+            default_registry().validate_transaction(payload)
+
+    def test_asset_data_language_key_checked(self):
+        alice = ALICE
+        transaction = build_create(alice, {"nested": {"a.b": 1}}).sign([alice])
+        with pytest.raises(SchemaValidationError):
+            default_registry().validate_transaction(transaction.to_dict())
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(SchemaValidationError):
+            default_registry().validate_transaction("not a dict")
+
+    def test_create_must_not_have_children(self):
+        payload = valid_create_payload()
+        payload["children"] = ["a" * 64]
+        with pytest.raises(SchemaValidationError):
+            default_registry().validate_transaction(payload)

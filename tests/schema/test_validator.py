@@ -1,0 +1,177 @@
+"""The JSON-Schema-subset validator."""
+
+import pytest
+
+from repro.common.errors import SchemaValidationError
+from repro.schema.validator import SchemaValidator, validate_language_key
+
+
+class TestTypes:
+    @pytest.mark.parametrize(
+        "schema,value",
+        [
+            ({"type": "string"}, "text"),
+            ({"type": "integer"}, 5),
+            ({"type": "number"}, 2.5),
+            ({"type": "number"}, 3),
+            ({"type": "boolean"}, True),
+            ({"type": "null"}, None),
+            ({"type": "array"}, [1]),
+            ({"type": "object"}, {"a": 1}),
+            ({"type": ["string", "null"]}, None),
+        ],
+    )
+    def test_accepts(self, schema, value):
+        SchemaValidator(schema).validate(value)
+
+    @pytest.mark.parametrize(
+        "schema,value",
+        [
+            ({"type": "string"}, 5),
+            ({"type": "integer"}, 2.5),
+            ({"type": "integer"}, True),  # bool is not an integer here
+            ({"type": "number"}, True),
+            ({"type": "array"}, {"a": 1}),
+            ({"type": "object"}, [1]),
+        ],
+    )
+    def test_rejects(self, schema, value):
+        assert not SchemaValidator(schema).is_valid(value)
+
+    def test_unknown_type_errors(self):
+        with pytest.raises(SchemaValidationError):
+            SchemaValidator({"type": "widget"}).validate("x")
+
+
+class TestConstraints:
+    def test_enum(self):
+        validator = SchemaValidator({"enum": ["CREATE", "TRANSFER"]})
+        validator.validate("CREATE")
+        assert not validator.is_valid("MINT")
+
+    def test_const(self):
+        validator = SchemaValidator({"const": "BID"})
+        validator.validate("BID")
+        assert not validator.is_valid("bid")
+
+    def test_pattern(self):
+        validator = SchemaValidator({"type": "string", "pattern": "^[0-9a-f]{4}$"})
+        validator.validate("0abc")
+        assert not validator.is_valid("0ABC")
+
+    def test_lengths(self):
+        validator = SchemaValidator({"type": "string", "minLength": 2, "maxLength": 3})
+        validator.validate("ab")
+        assert not validator.is_valid("a")
+        assert not validator.is_valid("abcd")
+
+    def test_numeric_bounds(self):
+        validator = SchemaValidator({"type": "integer", "minimum": 1, "maximum": 10})
+        validator.validate(1)
+        validator.validate(10)
+        assert not validator.is_valid(0)
+        assert not validator.is_valid(11)
+
+    def test_nullable(self):
+        validator = SchemaValidator({"type": "object", "nullable": True})
+        validator.validate(None)
+        validator.validate({})
+
+
+class TestObjectsAndArrays:
+    def test_required(self):
+        validator = SchemaValidator({"type": "object", "required": ["id"]})
+        assert not validator.is_valid({})
+        validator.validate({"id": 1})
+
+    def test_additional_properties_false(self):
+        validator = SchemaValidator(
+            {"type": "object", "properties": {"a": {}}, "additionalProperties": False}
+        )
+        validator.validate({"a": 1})
+        assert not validator.is_valid({"a": 1, "b": 2})
+
+    def test_additional_properties_schema(self):
+        validator = SchemaValidator(
+            {"type": "object", "additionalProperties": {"type": "integer"}}
+        )
+        validator.validate({"any": 3})
+        assert not validator.is_valid({"any": "text"})
+
+    def test_items_and_bounds(self):
+        validator = SchemaValidator(
+            {"type": "array", "items": {"type": "integer"}, "minItems": 1, "maxItems": 2}
+        )
+        validator.validate([1])
+        assert not validator.is_valid([])
+        assert not validator.is_valid([1, 2, 3])
+        assert not validator.is_valid(["x"])
+
+    def test_error_paths_are_specific(self):
+        validator = SchemaValidator(
+            {
+                "type": "object",
+                "properties": {
+                    "outputs": {"type": "array", "items": {"type": "object",
+                                "properties": {"amount": {"type": "integer", "minimum": 1}}}}
+                },
+            }
+        )
+        with pytest.raises(SchemaValidationError) as info:
+            validator.validate({"outputs": [{"amount": 0}]})
+        assert "outputs[0].amount" in str(info.value)
+
+
+class TestRefsAndCombinators:
+    DEFS = {"digest": {"type": "string", "pattern": "^[0-9a-f]{4}$"}}
+
+    def test_ref_resolution(self):
+        validator = SchemaValidator({"$ref": "#/definitions/digest"}, definitions=self.DEFS)
+        validator.validate("0a1b")
+        assert not validator.is_valid("nope")
+
+    def test_unresolvable_ref(self):
+        validator = SchemaValidator({"$ref": "#/definitions/missing"}, definitions={})
+        with pytest.raises(SchemaValidationError):
+            validator.validate("x")
+
+    def test_circular_ref_detected(self):
+        definitions = {"a": {"$ref": "#/definitions/b"}, "b": {"$ref": "#/definitions/a"}}
+        validator = SchemaValidator({"$ref": "#/definitions/a"}, definitions=definitions)
+        with pytest.raises(SchemaValidationError):
+            validator.validate("x")
+
+    def test_any_of(self):
+        validator = SchemaValidator({"anyOf": [{"type": "integer"}, {"type": "string"}]})
+        validator.validate(1)
+        validator.validate("x")
+        assert not validator.is_valid([1])
+
+    def test_all_of(self):
+        validator = SchemaValidator(
+            {"allOf": [{"type": "integer", "minimum": 1}, {"maximum": 5}]}
+        )
+        validator.validate(3)
+        assert not validator.is_valid(6)
+
+
+class TestLanguageKey:
+    def test_operator_key_rejected(self):
+        with pytest.raises(SchemaValidationError):
+            validate_language_key({"metadata": {"$where": 1}}, "metadata")
+
+    def test_dotted_key_rejected(self):
+        with pytest.raises(SchemaValidationError):
+            validate_language_key({"metadata": {"a.b": 1}}, "metadata")
+
+    def test_language_key_must_be_string(self):
+        with pytest.raises(SchemaValidationError):
+            validate_language_key({"metadata": {"language": 5}}, "metadata")
+        validate_language_key({"metadata": {"language": "en"}}, "metadata")
+
+    def test_nested_structures_walked(self):
+        with pytest.raises(SchemaValidationError):
+            validate_language_key({"metadata": {"ok": [{"$bad": 1}]}}, "metadata")
+
+    def test_absent_section_ok(self):
+        validate_language_key({}, "metadata")

@@ -1,0 +1,113 @@
+"""Simulated clock and discrete-event loop."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.events import EventLoop
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        assert clock.now == 1.5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_advance_to_never_rewinds(self):
+        clock = SimClock(10.0)
+        clock.advance_to(5.0)
+        assert clock.now == 10.0
+        clock.advance_to(12.0)
+        assert clock.now == 12.0
+
+
+class TestEventLoop:
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule_in(2.0, lambda: order.append("late"))
+        loop.schedule_in(1.0, lambda: order.append("early"))
+        loop.run_until_idle()
+        assert order == ["early", "late"]
+
+    def test_ties_break_by_insertion(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule_in(1.0, lambda: order.append("first"))
+        loop.schedule_in(1.0, lambda: order.append("second"))
+        loop.run_until_idle()
+        assert order == ["first", "second"]
+
+    def test_clock_advances_to_event_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_in(3.5, lambda: seen.append(loop.clock.now))
+        loop.run_until_idle()
+        assert seen == [3.5]
+        assert loop.clock.now == 3.5
+
+    def test_callbacks_can_schedule_more(self):
+        loop = EventLoop()
+        hits = []
+
+        def recurse(depth):
+            hits.append(depth)
+            if depth < 3:
+                loop.schedule_in(1.0, lambda: recurse(depth + 1))
+
+        loop.schedule_in(0.0, lambda: recurse(0))
+        loop.run_until_idle()
+        assert hits == [0, 1, 2, 3]
+
+    def test_cancel(self):
+        loop = EventLoop()
+        hits = []
+        handle = loop.schedule_in(1.0, lambda: hits.append(1))
+        handle.cancel()
+        loop.run_until_idle()
+        assert hits == []
+        assert handle.cancelled
+
+    def test_run_until_bound(self):
+        loop = EventLoop()
+        hits = []
+        loop.schedule_in(1.0, lambda: hits.append(1))
+        loop.schedule_in(5.0, lambda: hits.append(5))
+        loop.run(until=2.0)
+        assert hits == [1]
+        assert loop.clock.now == 2.0
+        loop.run_until_idle()
+        assert hits == [1, 5]
+
+    def test_max_events_bound(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.schedule_in(0.1, forever)
+
+        loop.schedule_in(0.0, forever)
+        executed = loop.run(max_events=10)
+        assert executed == 10
+
+    def test_scheduling_in_past_rejected(self):
+        loop = EventLoop()
+        loop.clock.advance(5.0)
+        with pytest.raises(ValueError):
+            loop.schedule_at(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            loop.schedule_in(-1.0, lambda: None)
+
+    def test_pending_and_processed_counters(self):
+        loop = EventLoop()
+        loop.schedule_in(1.0, lambda: None)
+        loop.schedule_in(2.0, lambda: None)
+        assert loop.pending == 2
+        loop.run_until_idle()
+        assert loop.processed == 2
+        assert loop.pending == 0

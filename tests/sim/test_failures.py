@@ -1,0 +1,62 @@
+"""Failure injection schedules."""
+
+import pytest
+
+from repro.sim.events import EventLoop
+from repro.sim.failures import CrashEvent, FailureInjector
+from repro.sim.network import Network
+from repro.sim.rng import SeededRng
+
+
+@pytest.fixture()
+def harness():
+    loop = EventLoop()
+    network = Network(loop, SeededRng(5))
+    network.register("n0", lambda m: None)
+    network.register("n1", lambda m: None)
+    injector = FailureInjector(loop, network)
+    return loop, network, injector
+
+
+class TestFailureInjector:
+    def test_scheduled_crash_and_recovery(self, harness):
+        loop, network, injector = harness
+        injector.schedule([CrashEvent("n0", crash_at=1.0, recover_at=2.0)])
+        loop.run(until=1.5)
+        assert network.is_crashed("n0")
+        loop.run(until=2.5)
+        assert not network.is_crashed("n0")
+
+    def test_callbacks_invoked(self, harness):
+        loop, network, injector = harness
+        events = []
+        injector.register_callbacks(
+            "n0", on_crash=lambda: events.append("crash"), on_recover=lambda: events.append("up")
+        )
+        injector.schedule([CrashEvent("n0", crash_at=1.0, recover_at=2.0)])
+        loop.run_until_idle()
+        assert events == ["crash", "up"]
+
+    def test_log_records_timeline(self, harness):
+        loop, network, injector = harness
+        injector.schedule([CrashEvent("n1", crash_at=0.5, recover_at=1.5)])
+        loop.run_until_idle()
+        assert injector.log == [(0.5, "crash", "n1"), (1.5, "recover", "n1")]
+
+    def test_crash_without_recovery(self, harness):
+        loop, network, injector = harness
+        injector.schedule([CrashEvent("n0", crash_at=1.0)])
+        loop.run_until_idle()
+        assert network.is_crashed("n0")
+
+    def test_recovery_before_crash_rejected(self, harness):
+        loop, network, injector = harness
+        with pytest.raises(ValueError):
+            injector.schedule([CrashEvent("n0", crash_at=2.0, recover_at=1.0)])
+
+    def test_immediate_crash_and_recover(self, harness):
+        loop, network, injector = harness
+        injector.crash_now("n0")
+        assert network.is_crashed("n0")
+        injector.recover_now("n0")
+        assert not network.is_crashed("n0")

@@ -1,0 +1,137 @@
+"""Simulated network: delivery, latency, crashes, partitions."""
+
+from repro.sim.events import EventLoop
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.rng import SeededRng
+
+
+def make_network(loop=None, **config_kwargs):
+    loop = loop or EventLoop()
+    network = Network(loop, SeededRng(1), NetworkConfig(**config_kwargs))
+    return loop, network
+
+
+class TestDelivery:
+    def test_basic_send(self):
+        loop, network = make_network()
+        inbox = []
+        network.register("a", lambda m: None)
+        network.register("b", inbox.append)
+        network.send("a", "b", "PING", {"x": 1})
+        loop.run_until_idle()
+        assert len(inbox) == 1
+        assert inbox[0].kind == "PING"
+        assert inbox[0].sender == "a"
+
+    def test_delivery_is_delayed(self):
+        loop, network = make_network(base_latency=0.01, jitter=0.0)
+        times = []
+        network.register("a", lambda m: None)
+        network.register("b", lambda m: times.append(loop.clock.now))
+        network.send("a", "b", "PING", None)
+        loop.run_until_idle()
+        assert times[0] >= 0.01
+
+    def test_large_payloads_take_longer(self):
+        loop, network = make_network(base_latency=0.0, jitter=0.0, bandwidth_bytes_per_sec=1000.0)
+        times = {}
+        network.register("a", lambda m: None)
+        network.register("b", lambda m: times.setdefault(m.kind, loop.clock.now))
+        network.send("a", "b", "SMALL", None, size_bytes=10)
+        network.send("a", "b", "BIG", None, size_bytes=1000)
+        loop.run_until_idle()
+        assert times["BIG"] > times["SMALL"]
+
+    def test_broadcast_excludes_sender(self):
+        loop, network = make_network()
+        inboxes = {name: [] for name in "abc"}
+        for name in "abc":
+            network.register(name, inboxes[name].append)
+        network.broadcast("a", "HELLO", None)
+        loop.run_until_idle()
+        assert inboxes["a"] == []
+        assert len(inboxes["b"]) == 1
+        assert len(inboxes["c"]) == 1
+
+    def test_unknown_recipient_dropped(self):
+        loop, network = make_network()
+        network.register("a", lambda m: None)
+        network.send("a", "ghost", "PING", None)
+        loop.run_until_idle()
+        assert network.stats["dropped"] == 1
+
+
+class TestFaults:
+    def test_crashed_recipient_gets_nothing(self):
+        loop, network = make_network()
+        inbox = []
+        network.register("a", lambda m: None)
+        network.register("b", inbox.append)
+        network.crash("b")
+        network.send("a", "b", "PING", None)
+        loop.run_until_idle()
+        assert inbox == []
+
+    def test_crashed_sender_messages_dropped(self):
+        loop, network = make_network()
+        inbox = []
+        network.register("a", lambda m: None)
+        network.register("b", inbox.append)
+        network.crash("a")
+        network.send("a", "b", "PING", None)
+        loop.run_until_idle()
+        assert inbox == []
+
+    def test_crash_mid_flight_drops(self):
+        loop, network = make_network(base_latency=1.0, jitter=0.0)
+        inbox = []
+        network.register("a", lambda m: None)
+        network.register("b", inbox.append)
+        network.send("a", "b", "PING", None)
+        loop.schedule_in(0.5, lambda: network.crash("b"))
+        loop.run_until_idle()
+        assert inbox == []
+
+    def test_recovery_restores_delivery(self):
+        loop, network = make_network()
+        inbox = []
+        network.register("a", lambda m: None)
+        network.register("b", inbox.append)
+        network.crash("b")
+        network.recover("b")
+        network.send("a", "b", "PING", None)
+        loop.run_until_idle()
+        assert len(inbox) == 1
+
+    def test_partition_blocks_cross_group(self):
+        loop, network = make_network()
+        inboxes = {name: [] for name in "abcd"}
+        for name in "abcd":
+            network.register(name, inboxes[name].append)
+        network.partition([{"a", "b"}, {"c", "d"}])
+        network.send("a", "b", "IN", None)
+        network.send("a", "c", "ACROSS", None)
+        loop.run_until_idle()
+        assert len(inboxes["b"]) == 1
+        assert inboxes["c"] == []
+        network.heal_partition()
+        network.send("a", "c", "ACROSS", None)
+        loop.run_until_idle()
+        assert len(inboxes["c"]) == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_delays(self):
+        def run(seed):
+            loop = EventLoop()
+            network = Network(loop, SeededRng(seed))
+            times = []
+            network.register("a", lambda m: None)
+            network.register("b", lambda m: times.append(loop.clock.now))
+            for _ in range(5):
+                network.send("a", "b", "PING", None)
+            loop.run_until_idle()
+            return times
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)

@@ -1,0 +1,66 @@
+"""Database layout and provisioning."""
+
+import pytest
+
+from repro.common.errors import CollectionNotFoundError
+from repro.storage.database import SMARTCHAINDB_LAYOUT, Database, make_smartchaindb_database
+
+
+class TestDatabase:
+    def test_create_and_fetch(self):
+        database = Database("test")
+        database.create_collection("things")
+        assert database.collection("things").name == "things"
+
+    def test_create_is_idempotent(self):
+        database = Database("test")
+        first = database.create_collection("things")
+        second = database.create_collection("things")
+        assert first is second
+
+    def test_missing_collection_raises(self):
+        with pytest.raises(CollectionNotFoundError):
+            Database("test").collection("nope")
+
+    def test_contains(self):
+        database = Database("test")
+        database.create_collection("a")
+        assert "a" in database
+        assert "b" not in database
+
+
+class TestSmartchaindbLayout:
+    def test_all_collections_provisioned(self):
+        database = make_smartchaindb_database()
+        for name in SMARTCHAINDB_LAYOUT:
+            assert name in database
+
+    def test_accept_tx_recovery_exists(self):
+        """The collection the paper adds for nested-transaction recovery."""
+        database = make_smartchaindb_database()
+        assert "accept_tx_recovery" in database
+
+    def test_transaction_indexes_present(self):
+        database = make_smartchaindb_database()
+        paths = database.collection("transactions").index_paths()
+        assert "id" in paths
+        assert "asset.id" in paths
+        assert "references" in paths
+
+    def test_unindexed_variant_scans(self):
+        database = make_smartchaindb_database(indexed=False)
+        transactions = database.collection("transactions")
+        transactions.insert_one({"id": "x" * 64, "operation": "CREATE"})
+        assert transactions.explain({"id": "x" * 64}).kind == "scan"
+
+    def test_indexed_variant_probes(self):
+        database = make_smartchaindb_database(indexed=True)
+        transactions = database.collection("transactions")
+        transactions.insert_one({"id": "x" * 64, "operation": "CREATE"})
+        assert transactions.explain({"id": "x" * 64}).kind == "index"
+
+    def test_stats_shape(self):
+        database = make_smartchaindb_database()
+        stats = database.stats()
+        assert stats["transactions"]["size"] == 0
+        assert "inserts" in stats["transactions"]

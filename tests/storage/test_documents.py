@@ -1,0 +1,163 @@
+"""Query-language evaluation against documents."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import QueryError
+from repro.storage.documents import extract_equality_paths, matches, resolve_path
+
+
+class TestResolvePath:
+    def test_simple(self):
+        assert resolve_path({"a": {"b": 3}}, "a.b") == [3]
+
+    def test_missing_is_empty(self):
+        assert resolve_path({"a": 1}, "a.b") == []
+        assert resolve_path({}, "x") == []
+
+    def test_array_fanout(self):
+        document = {"outputs": [{"k": 1}, {"k": 2}]}
+        assert resolve_path(document, "outputs.k") == [1, 2]
+
+    def test_numeric_index(self):
+        document = {"outputs": [{"k": 1}, {"k": 2}]}
+        assert resolve_path(document, "outputs.1.k") == [2]
+
+    def test_index_out_of_range(self):
+        assert resolve_path({"a": [1]}, "a.5") == []
+
+
+class TestEquality:
+    def test_scalar(self):
+        assert matches({"op": "BID"}, {"op": "BID"})
+        assert not matches({"op": "BID"}, {"op": "CREATE"})
+
+    def test_array_membership(self):
+        assert matches({"refs": ["a", "b"]}, {"refs": "a"})
+        assert not matches({"refs": ["a", "b"]}, {"refs": "c"})
+
+    def test_bool_int_not_conflated(self):
+        assert not matches({"x": 1}, {"x": True})
+        assert not matches({"x": True}, {"x": 1})
+
+    def test_nested_path(self):
+        assert matches({"asset": {"id": "xyz"}}, {"asset.id": "xyz"})
+
+
+class TestOperators:
+    DOC = {"n": 5, "tags": ["red", "blue"], "name": "widget-42", "items": [{"q": 2}, {"q": 9}]}
+
+    def test_comparisons(self):
+        assert matches(self.DOC, {"n": {"$gt": 4}})
+        assert matches(self.DOC, {"n": {"$gte": 5}})
+        assert matches(self.DOC, {"n": {"$lt": 6}})
+        assert matches(self.DOC, {"n": {"$lte": 5}})
+        assert not matches(self.DOC, {"n": {"$gt": 5}})
+
+    def test_gt_incomparable_types(self):
+        assert not matches(self.DOC, {"name": {"$gt": 3}})
+
+    def test_ne(self):
+        assert matches(self.DOC, {"n": {"$ne": 6}})
+        assert not matches(self.DOC, {"n": {"$ne": 5}})
+
+    def test_in_nin(self):
+        assert matches(self.DOC, {"n": {"$in": [1, 5]}})
+        assert not matches(self.DOC, {"n": {"$in": [1, 2]}})
+        assert matches(self.DOC, {"n": {"$nin": [1, 2]}})
+        assert matches(self.DOC, {"tags": {"$in": ["blue"]}})
+
+    def test_exists(self):
+        assert matches(self.DOC, {"n": {"$exists": True}})
+        assert matches(self.DOC, {"zzz": {"$exists": False}})
+        assert not matches(self.DOC, {"zzz": {"$exists": True}})
+
+    def test_all_size(self):
+        assert matches(self.DOC, {"tags": {"$all": ["red", "blue"]}})
+        assert not matches(self.DOC, {"tags": {"$all": ["red", "green"]}})
+        assert matches(self.DOC, {"tags": {"$size": 2}})
+        assert not matches(self.DOC, {"tags": {"$size": 3}})
+
+    def test_elem_match(self):
+        assert matches(self.DOC, {"items": {"$elemMatch": {"q": {"$gt": 5}}}})
+        assert not matches(self.DOC, {"items": {"$elemMatch": {"q": {"$gt": 10}}}})
+
+    def test_regex(self):
+        assert matches(self.DOC, {"name": {"$regex": r"^widget-\d+$"}})
+        assert not matches(self.DOC, {"name": {"$regex": r"^gadget"}})
+
+    def test_type(self):
+        assert matches(self.DOC, {"n": {"$type": "int"}})
+        assert matches(self.DOC, {"tags": {"$type": "array"}})
+        assert not matches(self.DOC, {"n": {"$type": "string"}})
+
+    def test_not(self):
+        assert matches(self.DOC, {"n": {"$not": {"$gt": 10}}})
+        assert not matches(self.DOC, {"n": {"$not": {"$gt": 1}}})
+
+    def test_combined_range(self):
+        assert matches(self.DOC, {"n": {"$gt": 1, "$lt": 10}})
+        assert not matches(self.DOC, {"n": {"$gt": 1, "$lt": 5}})
+
+
+class TestLogical:
+    DOC = {"op": "BID", "amount": 3}
+
+    def test_and(self):
+        assert matches(self.DOC, {"$and": [{"op": "BID"}, {"amount": {"$gt": 1}}]})
+        assert not matches(self.DOC, {"$and": [{"op": "BID"}, {"amount": {"$gt": 5}}]})
+
+    def test_or(self):
+        assert matches(self.DOC, {"$or": [{"op": "CREATE"}, {"amount": 3}]})
+        assert not matches(self.DOC, {"$or": [{"op": "CREATE"}, {"amount": 9}]})
+
+    def test_nor(self):
+        assert matches(self.DOC, {"$nor": [{"op": "CREATE"}, {"amount": 9}]})
+        assert not matches(self.DOC, {"$nor": [{"op": "BID"}]})
+
+    def test_implicit_top_level_and(self):
+        assert matches(self.DOC, {"op": "BID", "amount": 3})
+        assert not matches(self.DOC, {"op": "BID", "amount": 4})
+
+
+class TestErrors:
+    def test_unknown_operator(self):
+        with pytest.raises(QueryError):
+            matches({"a": 1}, {"a": {"$frobnicate": 1}})
+
+    def test_unknown_top_level_operator(self):
+        with pytest.raises(QueryError):
+            matches({"a": 1}, {"$xor": []})
+
+    def test_in_requires_array(self):
+        with pytest.raises(QueryError):
+            matches({"a": 1}, {"a": {"$in": 5}})
+
+    def test_bad_type_name(self):
+        with pytest.raises(QueryError):
+            matches({"a": 1}, {"a": {"$type": "float32"}})
+
+
+class TestExtractEqualityPaths:
+    def test_plain_and_eq_extracted(self):
+        query = {"id": "x", "n": {"$eq": 3}, "m": {"$gt": 1}, "$or": []}
+        assert extract_equality_paths(query) == {"id": "x", "n": 3}
+
+    def test_operator_docs_not_equality(self):
+        assert extract_equality_paths({"n": {"$gt": 1}}) == {}
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c"]),
+        st.integers(min_value=0, max_value=5),
+        max_size=3,
+    ),
+    st.sampled_from(["a", "b", "c"]),
+    st.integers(min_value=0, max_value=5),
+)
+def test_equality_matches_iff_value_equal_property(document, key, value):
+    """matches({key: value}) iff document[key] == value (scalars)."""
+    expected = key in document and document[key] == value
+    assert matches(document, {key: value}) == expected

@@ -1,0 +1,96 @@
+"""Hash and sorted indexes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import DuplicateKeyError
+from repro.storage.indexes import HashIndex, SortedIndex
+
+
+class TestHashIndex:
+    def test_add_lookup_remove(self):
+        index = HashIndex("id")
+        index.add(1, {"id": "a"})
+        index.add(2, {"id": "b"})
+        assert index.lookup("a") == {1}
+        index.remove(1, {"id": "a"})
+        assert index.lookup("a") == set()
+
+    def test_multiple_docs_same_key(self):
+        index = HashIndex("operation")
+        index.add(1, {"operation": "BID"})
+        index.add(2, {"operation": "BID"})
+        assert index.lookup("BID") == {1, 2}
+
+    def test_array_values_indexed_individually(self):
+        index = HashIndex("outputs.public_keys")
+        index.add(1, {"outputs": [{"public_keys": ["A", "B"]}]})
+        assert index.lookup("A") == {1}
+        assert index.lookup("B") == {1}
+
+    def test_unique_violation(self):
+        index = HashIndex("id", unique=True)
+        index.add(1, {"id": "a"})
+        with pytest.raises(DuplicateKeyError):
+            index.add(2, {"id": "a"})
+
+    def test_unique_re_add_same_doc_ok(self):
+        index = HashIndex("id", unique=True)
+        index.add(1, {"id": "a"})
+        index.add(1, {"id": "a"})
+        assert index.lookup("a") == {1}
+
+    def test_missing_path_indexes_nothing(self):
+        index = HashIndex("id")
+        index.add(1, {"other": 1})
+        assert len(index) == 0
+
+    def test_contains_key(self):
+        index = HashIndex("id")
+        index.add(1, {"id": "a"})
+        assert index.contains_key("a")
+        assert not index.contains_key("z")
+
+
+class TestSortedIndex:
+    def build(self, heights):
+        index = SortedIndex("height")
+        for doc_id, height in enumerate(heights):
+            index.add(doc_id, {"height": height})
+        return index
+
+    def test_range_inclusive(self):
+        index = self.build([5, 1, 3, 9, 7])
+        assert list(index.range(3, 7)) == [2, 0, 4]  # heights 3,5,7 in order
+
+    def test_range_exclusive_bounds(self):
+        index = self.build([1, 2, 3, 4])
+        assert list(index.range(1, 4, include_low=False, include_high=False)) == [1, 2]
+
+    def test_open_ranges(self):
+        index = self.build([2, 4, 6])
+        assert list(index.range(low=4)) == [1, 2]
+        assert list(index.range(high=4)) == [0, 1]
+        assert list(index.range()) == [0, 1, 2]
+
+    def test_remove(self):
+        index = self.build([1, 2, 2, 3])
+        index.remove(1, {"height": 2})
+        assert list(index.range(2, 2)) == [2]
+
+    def test_non_comparable_values_skipped(self):
+        index = SortedIndex("height")
+        index.add(1, {"height": True})   # bools excluded
+        index.add(2, {"height": None})
+        assert len(index) == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=25),
+           st.integers(0, 50), st.integers(0, 50))
+    def test_range_matches_naive_filter_property(self, heights, low, high):
+        low, high = min(low, high), max(low, high)
+        index = self.build(heights)
+        via_index = sorted(index.range(low, high))
+        naive = sorted(i for i, h in enumerate(heights) if low <= h <= high)
+        assert via_index == naive

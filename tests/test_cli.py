@@ -1,0 +1,37 @@
+"""CLI surface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("info", "demo", "compare", "workload"):
+            args = parser.parse_args([command])
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "ACCEPT_BID" in out
+        assert "EDBT 2025" in out
+
+    def test_workload(self, capsys):
+        assert main(["workload", "--total", "220"]) == 0
+        out = capsys.readouterr().out
+        assert "REQUEST" in out
+        assert "110k" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "RETURN" in out
+        assert "eventual commit holds: True" in out

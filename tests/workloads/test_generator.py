@@ -1,0 +1,66 @@
+"""Workload generator: the paper's 110k mix, scaled."""
+
+from repro.workloads.generator import PAPER_MIX, WorkloadGenerator, WorkloadSpec
+
+
+class TestMix:
+    def test_paper_mix_totals(self):
+        assert sum(PAPER_MIX.values()) == 110_000
+        assert PAPER_MIX["CREATE"] == 50_000
+        assert PAPER_MIX["BID"] == 50_000
+        assert PAPER_MIX["REQUEST"] == 5_000
+        assert PAPER_MIX["ACCEPT_BID"] == 5_000
+
+    def test_scaled_mix_preserves_proportions(self):
+        spec = WorkloadSpec(total=1_100)
+        mix = spec.mix()
+        assert mix["CREATE"] == 500
+        assert mix["BID"] == 500
+        assert mix["REQUEST"] == 50
+        assert mix["ACCEPT_BID"] == 50
+
+    def test_generated_counts_match_mix(self):
+        generator = WorkloadGenerator(WorkloadSpec(total=220))
+        counts = generator.counts()
+        mix = generator.spec.mix()
+        assert counts["REQUEST"] == mix["REQUEST"]
+        assert counts["ACCEPT_BID"] == mix["ACCEPT_BID"]
+        assert abs(counts["CREATE"] - mix["CREATE"]) <= mix["REQUEST"]
+        assert abs(counts["BID"] - mix["BID"]) <= mix["REQUEST"]
+
+
+class TestStructure:
+    def test_accepts_follow_their_requests(self):
+        generator = WorkloadGenerator(WorkloadSpec(total=220))
+        seen_requests = set()
+        for item in generator.items():
+            if item.operation == "ACCEPT_BID":
+                assert item.request_index in seen_requests
+            elif item.operation == "REQUEST":
+                seen_requests.add(item.request_index)
+
+    def test_bids_follow_their_requests(self):
+        generator = WorkloadGenerator(WorkloadSpec(total=220))
+        seen_requests = set()
+        for item in generator.items():
+            if item.operation == "BID":
+                assert item.request_index in seen_requests
+            elif item.operation == "REQUEST":
+                seen_requests.add(item.request_index)
+
+    def test_deterministic(self):
+        left = list(WorkloadGenerator(WorkloadSpec(total=110, seed=3)).items())
+        right = list(WorkloadGenerator(WorkloadSpec(total=110, seed=3)).items())
+        assert left == right
+
+    def test_metadata_fill_targets_payload_size(self):
+        small = WorkloadGenerator(WorkloadSpec(total=110, target_payload_bytes=1_000))
+        large = WorkloadGenerator(WorkloadSpec(total=110, target_payload_bytes=2_000))
+        small_item = next(i for i in small.items() if i.operation == "CREATE")
+        large_item = next(i for i in large.items() if i.operation == "CREATE")
+        assert len(large_item.metadata_fill) > len(small_item.metadata_fill)
+
+    def test_actor_population_respected(self):
+        generator = WorkloadGenerator(WorkloadSpec(total=220, n_actors=8))
+        actors = {item.actor for item in generator.items()}
+        assert actors <= set(range(8))
