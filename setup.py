@@ -1,5 +1,16 @@
 """Legacy setup shim: the build environment has no `wheel`, so editable
-installs must go through `setup.py develop` (pip --no-use-pep517)."""
-from setuptools import setup
+installs must go through `setup.py develop` (pip --no-use-pep517).
 
-setup()
+The YAML schema definitions are data files inside ``repro.schema``;
+declaring them as package data ensures ``importlib.resources`` finds them
+from an installed wheel, not only from a source checkout on PYTHONPATH.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    package_data={"repro.schema": ["definitions/*.yaml"]},
+    include_package_data=True,
+)

@@ -39,16 +39,16 @@ class FraudAnalyzer:
         then "wins" it back distorts price discovery.
         """
         findings = []
-        for accept in self._transactions.find({"operation": "ACCEPT_BID"}):
+        for accept in self._transactions.find({"operation": "ACCEPT_BID"}, copy=False):
             metadata = accept.get("metadata") or {}
-            win_bid = self._transactions.find_one({"id": metadata.get("win_bid_id", "")})
+            win_bid = self._transactions.find_one({"id": metadata.get("win_bid_id", "")}, copy=False)
             if win_bid is None:
                 continue
             requester = (accept.get("inputs") or [{}])[0].get("owners_before", [None])[0]
             asset_id = (win_bid.get("asset") or {}).get("id")
             if not asset_id or requester is None:
                 continue
-            create = self._transactions.find_one({"id": asset_id})
+            create = self._transactions.find_one({"id": asset_id}, copy=False)
             if create is None:
                 continue
             minter = (create.get("inputs") or [{}])[0].get("owners_before", [None])[0]
@@ -71,14 +71,14 @@ class FraudAnalyzer:
         """
         losses: dict[str, list[str]] = {}
         wins: set[str] = set()
-        for accept in self._transactions.find({"operation": "ACCEPT_BID"}):
+        for accept in self._transactions.find({"operation": "ACCEPT_BID"}, copy=False):
             metadata = accept.get("metadata") or {}
-            win_bid = self._transactions.find_one({"id": metadata.get("win_bid_id", "")})
+            win_bid = self._transactions.find_one({"id": metadata.get("win_bid_id", "")}, copy=False)
             if win_bid is not None:
                 winner = (win_bid.get("inputs") or [{}])[0].get("owners_before", [None])[0]
                 if winner:
                     wins.add(winner)
-        for returned in self._transactions.find({"operation": "RETURN"}):
+        for returned in self._transactions.find({"operation": "RETURN"}, copy=False):
             recipient = (returned.get("outputs") or [{}])[0].get("public_keys", [None])[0]
             if recipient:
                 losses.setdefault(recipient, []).append(returned["id"])
@@ -101,7 +101,7 @@ class FraudAnalyzer:
         Ownership loops (A -> B -> A) are classic wash-trading structure.
         """
         findings = []
-        for create in self._transactions.find({"operation": "CREATE"}):
+        for create in self._transactions.find({"operation": "CREATE"}, copy=False):
             chain: list[str] = []
             current = create
             for _ in range(max_hops + 1):
@@ -111,7 +111,8 @@ class FraudAnalyzer:
                     chain.append(holder)
                 spender = self._transactions.find_one(
                     {"inputs.fulfills.transaction_id": current["id"],
-                     "operation": "TRANSFER"}
+                     "operation": "TRANSFER"},
+                    copy=False,
                 )
                 if spender is None:
                     break
@@ -139,7 +140,7 @@ class FraudAnalyzer:
         (gaming CBID.7 subset checks).
         """
         counts = []
-        assets = self._transactions.find({"operation": "CREATE"})
+        assets = self._transactions.find({"operation": "CREATE"}, copy=False)
         for create in assets:
             data = (create.get("asset") or {}).get("data") or {}
             capabilities = data.get("capabilities") or []

@@ -58,13 +58,13 @@ class MarketplaceAnalytics:
 
     def request_summary(self, request_id: str) -> RequestSummary:
         """Full activity picture for one RFQ."""
-        request = self._transactions.find_one({"id": request_id}) or {}
-        bids = self._transactions.find({"operation": "BID", "references": request_id})
+        request = self._transactions.find_one({"id": request_id}, copy=False) or {}
+        bids = self._transactions.find({"operation": "BID", "references": request_id}, copy=False)
         interests = self._transactions.find(
-            {"operation": "INTEREST", "references": request_id}
+            {"operation": "INTEREST", "references": request_id}, copy=False
         )
         accept = self._transactions.find_one(
-            {"operation": "ACCEPT_BID", "references": request_id}
+            {"operation": "ACCEPT_BID", "references": request_id}, copy=False
         )
         winning = None
         if accept is not None:
@@ -86,7 +86,7 @@ class MarketplaceAnalytics:
     def capability_demand(self) -> dict[str, int]:
         """How often each capability is requested across all RFQs."""
         demand: dict[str, int] = {}
-        for request in self._transactions.find({"operation": "REQUEST"}):
+        for request in self._transactions.find({"operation": "REQUEST"}, copy=False):
             for capability in extract_capabilities(request.get("asset")):
                 demand[capability] = demand.get(capability, 0) + 1
         return demand
@@ -100,10 +100,11 @@ class MarketplaceAnalytics:
         whichever committed transaction spends the current tip.
         """
         steps: list[ProvenanceStep] = []
-        current = self._transactions.find_one({"id": asset_id})
+        current = self._transactions.find_one({"id": asset_id}, copy=False)
         while current is not None:
             outputs = current.get("outputs") or []
-            holders = outputs[0].get("public_keys", []) if outputs else []
+            # Zero-copy scan: the holders list must not alias stored state.
+            holders = list(outputs[0].get("public_keys", [])) if outputs else []
             steps.append(
                 ProvenanceStep(
                     transaction_id=current["id"],
@@ -112,7 +113,7 @@ class MarketplaceAnalytics:
                 )
             )
             spender = self._transactions.find_one(
-                {"inputs.fulfills.transaction_id": current["id"]}
+                {"inputs.fulfills.transaction_id": current["id"]}, copy=False
             )
             if spender is None or spender["id"] == current["id"]:
                 break
@@ -128,7 +129,7 @@ class MarketplaceAnalytics:
     def bid_competition(self) -> dict[str, int]:
         """request_id -> number of bids (market concentration input)."""
         competition: dict[str, int] = {}
-        for bid in self._transactions.find({"operation": "BID"}):
+        for bid in self._transactions.find({"operation": "BID"}, copy=False):
             for reference in bid.get("references", []):
                 competition[reference] = competition.get(reference, 0) + 1
         return competition

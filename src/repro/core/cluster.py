@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.common.encoding import canonical_bytes
-from repro.common.errors import ValidationError
+from repro.common.encoding import canonical_bytes, deep_copy_json
+from repro.common.errors import SchemaValidationError, ValidationError
 from repro.consensus.abci import envelope_for
 from repro.consensus.bft import BftConfig, BftEngine, CommitRecord
 from repro.consensus.tendermint import make_tendermint_cluster, tendermint_config
@@ -135,6 +135,12 @@ class SmartchainCluster:
             # Already in flight or committed (e.g. the same RETURN child
             # determined by several nodes): keep the original record.
             return SubmitResult(tx_id, operation, accepted=True)
+        if not _retry:
+            # The driver-to-cluster trust boundary: one deep copy here
+            # means no caller-held reference can mutate the payload the
+            # pipeline (and its identity-keyed verification cache)
+            # verifies — the single copy the zero-copy discipline keeps.
+            payload = deep_copy_json(payload)
         size_bytes = len(canonical_bytes(payload))
         now = self.loop.clock.now
         record = TxRecord(tx_id, operation, size_bytes, submitted_at=now)
@@ -168,7 +174,10 @@ class SmartchainCluster:
                 return
             try:
                 server.receiver_validate(payload)
-            except ValidationError as error:
+            except (SchemaValidationError, ValidationError) as error:
+                # SchemaValidationError is a sibling of ValidationError in
+                # the hierarchy; a structurally broken payload must reject
+                # through the driver callback, not crash the event loop.
                 record.rejected = str(error)
                 self._fire_callback(tx_id, "rejected", str(error))
                 return

@@ -33,11 +33,15 @@ class ValidationContext:
     # -- committed-state queries (Algorithm 2/3 helpers) -----------------------
 
     def get_tx(self, tx_id: str) -> dict[str, Any] | None:
-        """``getTxFromDB``: committed transaction payload or None."""
+        """``getTxFromDB``: committed transaction payload or None.
+
+        Returns the frozen stored payload (zero-copy): validation reads
+        prior transactions, it never mutates them.
+        """
         staged = self._staged_txs.get(tx_id)
         if staged is not None:
             return staged
-        return self._database.collection("transactions").find_one({"id": tx_id})
+        return self._database.collection("transactions").find_one({"id": tx_id}, copy=False)
 
     def is_committed(self, tx_id: str) -> bool:
         """True if the transaction is committed (or staged in this block)."""
@@ -67,7 +71,8 @@ class ValidationContext:
                         "fulfills.output_index": ref.output_index,
                     }
                 },
-            }
+            },
+            copy=False,
         )
         return spender["id"] if spender else None
 
@@ -83,16 +88,20 @@ class ValidationContext:
                 f"output {ref.transaction_id[:8]}..:{ref.output_index} already spent by {spender[:8]}"
             )
 
-    def bids_for_request(self, request_id: str) -> list[dict[str, Any]]:
-        """All committed BIDs referencing ``request_id``."""
+    def bids_for_request(self, request_id: str, *, copy: bool = True) -> list[dict[str, Any]]:
+        """All committed BIDs referencing ``request_id``.
+
+        ``copy=False`` returns the frozen stored payloads for read-only
+        consumers (validation, the nested-transaction processor).
+        """
         return self._database.collection("transactions").find(
-            {"operation": "BID", "references": request_id}
+            {"operation": "BID", "references": request_id}, copy=copy
         )
 
     def locked_bids(self, request_id: str) -> list[dict[str, Any]]:
         """``getLockedBids``: bids whose escrow output is still unspent."""
         locked = []
-        for bid in self.bids_for_request(request_id):
+        for bid in self.bids_for_request(request_id, copy=False):
             ref = OutputRef(bid["id"], 0)
             if self.output_spender(ref) is None:
                 locked.append(bid)
@@ -104,7 +113,7 @@ class ValidationContext:
             if staged.get("operation") == "ACCEPT_BID" and request_id in staged.get("references", []):
                 return staged
         return self._database.collection("transactions").find_one(
-            {"operation": "ACCEPT_BID", "references": request_id}
+            {"operation": "ACCEPT_BID", "references": request_id}, copy=False
         )
 
     def signer_of(self, payload: dict[str, Any]) -> str | None:

@@ -245,7 +245,7 @@ def unique_per_reference(operation: str) -> Predicate:
         signer = transaction.inputs[0].owners_before[0] if transaction.inputs else None
         for reference in transaction.references:
             existing = ctx._database.collection("transactions").find(
-                {"operation": operation, "references": reference}
+                {"operation": operation, "references": reference}, copy=False
             )
             for payload in existing:
                 if payload.get("id") == transaction.tx_id:

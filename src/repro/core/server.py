@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.common.encoding import deep_copy_json
 from repro.common.errors import ValidationError
 from repro.consensus.types import Block, TxEnvelope
 from repro.core.context import ValidationContext
@@ -219,7 +220,11 @@ class SmartchainServer:
         """Open RFQs, optionally filtered by requested capability —
         the query the paper's Section 2.1 laments smart contracts cannot
         answer ("finding open service requests for 3-D printing")."""
-        requests = self.database.collection("transactions").find({"operation": "REQUEST"})
+        # Scan zero-copy; only the surviving open requests are copied for
+        # the caller, instead of every committed REQUEST.
+        requests = self.database.collection("transactions").find(
+            {"operation": "REQUEST"}, copy=False
+        )
         open_requests = []
         for request in requests:
             if self.context.accept_for_request(request["id"]) is not None:
@@ -228,7 +233,7 @@ class SmartchainServer:
                 data = (request.get("asset") or {}).get("data") or {}
                 if capability not in (data.get("capabilities") or []):
                     continue
-            open_requests.append(request)
+            open_requests.append(deep_copy_json(request))
         return open_requests
 
     def bids_for(self, request_id: str) -> list[dict[str, Any]]:

@@ -35,7 +35,7 @@ from typing import Any
 from repro.common.encoding import canonical_bytes, deep_copy_json
 from repro.common.errors import SchemaValidationError, ValidationError
 from repro.crypto.conditions import Condition, Fulfillment
-from repro.crypto.hashing import hash_document
+from repro.crypto.hashing import sha3_256_hex
 from repro.crypto.keys import KeyPair
 
 VERSION = "2.0"
@@ -161,6 +161,36 @@ class Transaction:
         self.references = list(references or [])
         self.children = list(children or [])
         self.tx_id = tx_id
+        # Memoised canonical forms.  Serialising and hashing the body is
+        # the dominant cost of integrity checks, and validation recomputes
+        # them several times per transaction (signing payload for every
+        # signature check, the signed-body hash for verify_id and
+        # size_bytes).  Reassigning any body field, or calling sign(),
+        # invalidates them; callers deep-mutating a field's *contents*
+        # (e.g. ``tx.asset["data"]["k"] = v``) must call
+        # invalidate_caches() themselves.
+        self.invalidate_caches()
+
+    #: Fields whose reassignment changes the canonical body.
+    _BODY_FIELDS = frozenset(
+        {"operation", "asset", "inputs", "outputs", "metadata", "references", "children"}
+    )
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        object.__setattr__(self, name, value)
+        if name in Transaction._BODY_FIELDS:
+            self.invalidate_caches()
+
+    def invalidate_caches(self) -> None:
+        """Drop memoised canonical bytes/ids after in-place mutation."""
+        object.__setattr__(self, "_cached_signing_payload", None)
+        object.__setattr__(self, "_cached_signed_bytes", None)
+        object.__setattr__(self, "_cached_id", None)
+        # Tri-state signature verdict, written only by the server
+        # validation pipeline (which owns the instance for the duration
+        # of validation): None = unknown, True/False = already verified
+        # for the identical payload.
+        object.__setattr__(self, "_signatures_memo", None)
 
     # -- serialisation --------------------------------------------------------
 
@@ -190,13 +220,30 @@ class Transaction:
 
         The body with *empty* fulfillments, canonically serialised — so
         signatures commit to the asset, outputs, references and metadata
-        but not to each other.
+        but not to each other.  Memoised: adding signatures does not
+        change it.
         """
-        return canonical_bytes(self._body(with_signatures=False))
+        payload = self._cached_signing_payload
+        if payload is None:
+            payload = canonical_bytes(self._body(with_signatures=False))
+            self._cached_signing_payload = payload
+        return payload
+
+    def _signed_bytes(self) -> bytes:
+        """Canonical bytes of the fully signed body, memoised."""
+        signed = self._cached_signed_bytes
+        if signed is None:
+            signed = canonical_bytes(self._body(with_signatures=True))
+            self._cached_signed_bytes = signed
+        return signed
 
     def compute_id(self) -> str:
         """SHA3-256 of the fully signed body (the schema's sha3_hexdigest)."""
-        return hash_document(self._body(with_signatures=True))
+        tx_id = self._cached_id
+        if tx_id is None:
+            tx_id = sha3_256_hex(self._signed_bytes())
+            self._cached_id = tx_id
+        return tx_id
 
     def sign(self, keypairs: list[KeyPair]) -> "Transaction":
         """Sign every input with the supplied key pairs, then freeze the id.
@@ -207,6 +254,9 @@ class Transaction:
         Raises:
             ValidationError: if an input ends up with no signatures.
         """
+        # Start from a clean slate: outputs/asset may have been swapped
+        # since the last signing, and the new signatures change the body.
+        self.invalidate_caches()
         payload = self.signing_payload()
         by_public = {keypair.public_key: keypair for keypair in keypairs}
         for index, item in enumerate(self.inputs):
@@ -220,6 +270,10 @@ class Transaction:
                 raise ValidationError(
                     f"no key available to sign input {index} (owners {item.owners_before})"
                 )
+        # The signed body changed; only the signature-free signing payload
+        # survives in the cache.
+        self._cached_signed_bytes = None
+        self._cached_id = None
         self.tx_id = self.compute_id()
         return self
 
@@ -269,7 +323,16 @@ class Transaction:
         least one of its ``owners_before`` keys; inputs that spend an
         output are checked against that output's condition by the
         semantic validators (which know the prior transaction).
+
+        When the server validation pipeline has already verified this
+        exact payload (``_signatures_memo``), the ed25519 verifications
+        are skipped; otherwise they always run — the method never stores
+        the memo itself, so direct callers see in-place fulfillment
+        mutations.
         """
+        memo = self._signatures_memo
+        if memo is not None:
+            return memo
         payload = self.signing_payload()
         for item in self.inputs:
             condition = Condition(public_keys=tuple(item.owners_before), threshold=1)
@@ -291,8 +354,11 @@ class Transaction:
     def size_bytes(self) -> int:
         """Canonical serialised size — drives network/storage cost models."""
         if self.tx_id is None:
-            return len(canonical_bytes(self._body(with_signatures=True)))
-        return len(canonical_bytes(self.to_dict()))
+            return len(self._signed_bytes())
+        # The wire payload is the signed body plus the sorted-first
+        # ``"id":"<64 hex>",`` member; sizing it from the memoised body
+        # bytes avoids a second full serialisation.
+        return len(self._signed_bytes()) + len('"id":"",') + len(self.tx_id)
 
     def __repr__(self) -> str:
         short = (self.tx_id or "unsigned")[:8]

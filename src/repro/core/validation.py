@@ -12,6 +12,7 @@ type's conditions.  The orchestrator layers the two phases of Fig. 4:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Protocol
 
 from repro.common.errors import SchemaValidationError, ValidationError
@@ -36,6 +37,65 @@ class TypeValidator(Protocol):
     def validate(self, ctx: ValidationContext, transaction: Transaction) -> None: ...
 
 
+class ValidationCache:
+    """Bounded memo of payload objects whose integrity already verified.
+
+    A transaction is validated several times on its way into a block:
+    receiver-node validation, every validator's CheckTx, and the final
+    DeliverTx before commit.  The expensive parts — canonical
+    serialisation + SHA3 for ``verify_id`` and the ed25519
+    ``verify_signatures`` — are pure functions of the payload, so
+    re-running them on the *same payload object* is wasted work.
+
+    Entries are keyed by transaction id but a hit additionally requires
+    the cached entry to be the **same object** (``is``) as the payload
+    being checked: a different dict claiming a cached id misses and goes
+    through full verification, so a forged body cannot ride on a cached
+    verdict.  The cache holds strong references, which is what makes the
+    identity test sound while an entry lives.
+
+    Ownership contract: a payload handed to the validator must not be
+    mutated in place between validation calls — an identity hit cannot
+    detect such tampering without re-hashing, which is exactly the cost
+    being cached away.  ``SmartchainCluster.submit_payload`` enforces
+    this at the driver trust boundary by deep-copying the payload once
+    on entry, so nothing outside the pipeline holds a reference to the
+    object the cache vouches for; standalone ``TransactionValidator``
+    users who mutate and re-check a payload must construct a fresh dict
+    (or disable the cache).
+    """
+
+    def __init__(self, maxsize: int = 8192):
+        self._maxsize = maxsize
+        self._entries: "OrderedDict[str, dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def check(self, payload: dict[str, Any]) -> bool:
+        """True if this exact payload object already verified."""
+        tx_id = payload.get("id")
+        entry = self._entries.get(tx_id) if isinstance(tx_id, str) else None
+        if entry is not None and entry is payload:
+            self.hits += 1
+            self._entries.move_to_end(tx_id)
+            return True
+        self.misses += 1
+        return False
+
+    def record(self, payload: dict[str, Any]) -> None:
+        """Remember a payload whose id and signatures verified."""
+        tx_id = payload.get("id")
+        if not isinstance(tx_id, str):
+            return
+        self._entries[tx_id] = payload
+        self._entries.move_to_end(tx_id)
+        if len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
 class TransactionValidator:
     """Schema + semantic validation for every registered type.
 
@@ -44,8 +104,17 @@ class TransactionValidator:
     time").
     """
 
-    def __init__(self, schema_registry: SchemaRegistry | None = None):
+    def __init__(
+        self,
+        schema_registry: SchemaRegistry | None = None,
+        verification_cache: bool = True,
+    ):
         self._schemas = schema_registry or default_registry()
+        #: Integrity/signature memo; None when caching is disabled (the
+        #: hot-path benchmark measures both configurations).
+        self.verification_cache: ValidationCache | None = (
+            ValidationCache() if verification_cache else None
+        )
         self._validators: dict[str, TypeValidator] = {}
         for validator in (
             CreateValidator(),
@@ -87,8 +156,24 @@ class TransactionValidator:
             raise ValidationError(
                 f"no semantic validator registered for {transaction.operation!r}"
             )
-        if not transaction.verify_id():
-            raise ValidationError("transaction id does not match body hash", "integrity")
+        cache = self.verification_cache
+        if cache is not None and cache.check(payload):
+            # Integrity and signatures verified earlier for this exact
+            # payload object; pre-seed the transaction's memos so the
+            # semantic conditions below see them for free.
+            transaction._cached_id = transaction.tx_id
+            transaction._signatures_memo = True
+        else:
+            if not transaction.verify_id():
+                raise ValidationError("transaction id does not match body hash", "integrity")
+            if cache is not None:
+                # Verify eagerly and memoise the verdict either way —
+                # the per-type validator's signature condition then costs
+                # nothing, including on the rejection path.
+                signatures_ok = transaction.verify_signatures()
+                transaction._signatures_memo = signatures_ok
+                if signatures_ok:
+                    cache.record(payload)
         validator.validate(ctx, transaction)
         return transaction
 
@@ -106,9 +191,16 @@ class TransactionValidator:
         """
         try:
             self.validate_schema(payload)
+            cache = self.verification_cache
+            if cache is not None and cache.check(payload):
+                return True
             transaction = Transaction.from_dict(payload)
             if not transaction.verify_id():
                 return False
-            return transaction.verify_signatures()
+            if not transaction.verify_signatures():
+                return False
+            if cache is not None:
+                cache.record(payload)
+            return True
         except (SchemaValidationError, ValidationError):
             return False

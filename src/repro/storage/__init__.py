@@ -1,6 +1,7 @@
 """In-process document store standing in for MongoDB."""
 
 from repro.storage.collection import Collection
+from repro.storage.compiler import Predicate, compile_query
 from repro.storage.database import SMARTCHAINDB_LAYOUT, Database, make_smartchaindb_database
 from repro.storage.documents import extract_equality_paths, matches, resolve_path
 from repro.storage.indexes import HashIndex, SortedIndex
@@ -10,10 +11,12 @@ __all__ = [
     "Collection",
     "Database",
     "HashIndex",
+    "Predicate",
     "QueryPlan",
     "QueryPlanner",
     "SMARTCHAINDB_LAYOUT",
     "SortedIndex",
+    "compile_query",
     "extract_equality_paths",
     "make_smartchaindb_database",
     "matches",

@@ -7,7 +7,8 @@ from typing import Any, Callable, Iterator
 
 from repro.common.encoding import deep_copy_json
 from repro.common.errors import DuplicateKeyError, QueryError, StorageError
-from repro.storage.documents import matches, resolve_path
+from repro.storage.compiler import Predicate, compile_query
+from repro.storage.documents import resolve_path
 from repro.storage.indexes import HashIndex, SortedIndex
 from repro.storage.query import QueryPlan, QueryPlanner
 
@@ -15,9 +16,18 @@ from repro.storage.query import QueryPlan, QueryPlanner
 class Collection:
     """An in-process MongoDB-style collection.
 
-    Documents are stored by internal integer id; inserted and returned
-    documents are deep-copied at the boundary so callers can never mutate
-    stored state in place.
+    Documents are stored by internal integer id.  Copy discipline is
+    *freeze-on-insert*: a document is deep-copied exactly once when it
+    crosses the insert boundary and is treated as immutable from then on
+    (updates replace the stored document wholesale, they never mutate it).
+    Reads therefore only pay for a copy when the caller may mutate the
+    result: ``find(...)`` defaults to copying, while internal read-only
+    consumers (validation, analytics) pass ``copy=False`` and receive the
+    frozen stored documents directly — the zero-copy hot path.
+
+    Queries are *compiled once* (:mod:`repro.storage.compiler`) and the
+    resulting predicate closure is evaluated per candidate, instead of
+    re-interpreting the query dictionary per document.
 
     Args:
         name: collection name (used in error messages / stats).
@@ -73,6 +83,9 @@ class Collection:
     def insert_one(self, document: dict[str, Any]) -> int:
         """Insert a document; returns its internal id.
 
+        The document is deep-copied here — the single freeze-on-insert
+        copy — so later caller mutation cannot corrupt stored state.
+
         Raises:
             DuplicateKeyError: if a unique index is violated (the insert is
                 rolled back from any indexes already updated).
@@ -122,6 +135,8 @@ class Collection:
 
         ``update`` is either a ``{"$set": {...}}`` document (dotted paths
         supported) or a callable returning the replacement document.
+        Stored documents are frozen: updates build a fresh replacement and
+        swap it in, re-indexing the document.
 
         Raises:
             QueryError: if the update document uses unsupported operators.
@@ -180,34 +195,70 @@ class Collection:
 
     def _match_ids(self, query: dict[str, Any]) -> Iterator[tuple[int, dict[str, Any]]]:
         self.stats["queries"] += 1
-        plan, candidate_ids = self._planner.plan(query, len(self._documents))
+        predicate: Predicate = compile_query(query)
+        plan, candidate_ids = self._planner.plan(
+            query, len(self._documents), predicate.equalities
+        )
+        documents = self._documents
+        matcher: Callable[[Any], bool] | None = predicate
         if plan.kind == "index":
             self.stats["index_probes"] += 1
-            candidates = sorted(candidate_ids or ())
+            if not candidate_ids:
+                candidates: list[int] = []
+            elif len(candidate_ids) == 1:
+                candidates = list(candidate_ids)
+            else:
+                candidates = sorted(candidate_ids)
+            # Index-covered clause elimination: every candidate already
+            # satisfies the probed equality, so only the residual clauses
+            # run per document (None = single-equality query, no
+            # per-document work at all).  String keys only — for bool/int
+            # keys hash equality is coarser than query equality.
+            if plan.index_path is not None and isinstance(plan.key, str):
+                matcher = predicate.residual_for(plan.index_path)
         else:
             self.stats["full_scans"] += 1
-            candidates = list(self._documents)
+            candidates = list(documents)
+        stats = self.stats
         for doc_id in candidates:
-            document = self._documents.get(doc_id)
+            document = documents.get(doc_id)
             if document is None:
                 continue
-            self.stats["documents_examined"] += 1
-            if matches(document, query):
+            stats["documents_examined"] += 1
+            if matcher is None or matcher(document):
                 yield doc_id, document
 
-    def find(self, query: dict[str, Any] | None = None, limit: int | None = None) -> list[dict[str, Any]]:
-        """Return copies of all documents matching ``query``."""
+    def find(
+        self,
+        query: dict[str, Any] | None = None,
+        limit: int | None = None,
+        *,
+        copy: bool = True,
+    ) -> list[dict[str, Any]]:
+        """Return all documents matching ``query``.
+
+        Args:
+            copy: when True (the default) each result is a deep copy the
+                caller owns; ``copy=False`` returns the frozen stored
+                documents directly — the zero-copy fast path for internal
+                read-only consumers, which must not mutate them.
+        """
         query = query or {}
-        results = []
+        results: list[dict[str, Any]] = []
         for _, document in self._match_ids(query):
-            results.append(deep_copy_json(document))
+            results.append(deep_copy_json(document) if copy else document)
             if limit is not None and len(results) >= limit:
                 break
         return results
 
-    def find_one(self, query: dict[str, Any] | None = None) -> dict[str, Any] | None:
-        """First matching document, or None."""
-        found = self.find(query, limit=1)
+    def find_one(
+        self,
+        query: dict[str, Any] | None = None,
+        *,
+        copy: bool = True,
+    ) -> dict[str, Any] | None:
+        """First matching document, or None (``copy`` as in :meth:`find`)."""
+        found = self.find(query, limit=1, copy=copy)
         return found[0] if found else None
 
     def count(self, query: dict[str, Any] | None = None) -> int:
@@ -217,15 +268,30 @@ class Collection:
         return sum(1 for _ in self._match_ids(query))
 
     def distinct(self, path: str, query: dict[str, Any] | None = None) -> list[Any]:
-        """Distinct scalar values at ``path`` over matching documents."""
-        seen: list[Any] = []
-        for document in self.find(query or {}):
+        """Distinct values at ``path`` over matching documents.
+
+        First-seen order is preserved.  Hashable values dedupe through a
+        set; unhashable values (dicts/lists) fall back to an ordered
+        linear scan and are copied before being returned.
+        """
+        seen_hashable: set[Any] = set()
+        seen_unhashable: list[Any] = []
+        distinct_values: list[Any] = []
+        for document in self.find(query or {}, copy=False):
             for value in resolve_path(document, path):
                 candidates = value if isinstance(value, list) else [value]
                 for candidate in candidates:
-                    if candidate not in seen:
-                        seen.append(candidate)
-        return seen
+                    try:
+                        if candidate in seen_hashable:
+                            continue
+                        seen_hashable.add(candidate)
+                        distinct_values.append(candidate)
+                    except TypeError:
+                        if candidate in seen_unhashable:
+                            continue
+                        seen_unhashable.append(candidate)
+                        distinct_values.append(deep_copy_json(candidate))
+        return distinct_values
 
     def explain(self, query: dict[str, Any]) -> QueryPlan:
         """Expose the access path the planner would pick (for ablations)."""

@@ -4,8 +4,10 @@ Two kinds, mirroring what the SmartchainDB deployment needs:
 
 * :class:`HashIndex` — O(1) point lookups on an exact value (transaction
   id, ``asset.id``, output public keys...).  Optionally unique.
-* :class:`SortedIndex` — bisect-backed ordered index supporting range
-  scans (block heights, timestamps).
+* :class:`SortedIndex` — a two-level blocked sorted structure supporting
+  ordered range scans (block heights, timestamps) with amortised
+  O(sqrt(n)) inserts and removals instead of the O(n) ``list.insert``
+  memmove a single flat list costs.
 
 Index keys are extracted with the same dotted-path, array-fanning rules as
 query evaluation, so an index on ``outputs.public_keys`` indexes a document
@@ -14,11 +16,14 @@ under *every* key appearing in any output.
 
 from __future__ import annotations
 
-import bisect
+from bisect import bisect_left, bisect_right
 from typing import Any, Iterable, Iterator
 
 from repro.common.errors import DuplicateKeyError
 from repro.storage.documents import resolve_path
+
+#: Shared empty lookup result — callers treat lookups as frozen views.
+_EMPTY_IDS: frozenset[int] = frozenset()
 
 
 def _index_keys(document: Any, path: str) -> set[Any]:
@@ -71,46 +76,121 @@ class HashIndex:
                 if not bucket:
                     del self._buckets[key]
 
-    def lookup(self, key: Any) -> set[int]:
-        """Document ids stored under ``key`` (empty set if none)."""
-        return set(self._buckets.get(key, ()))
+    def lookup(self, key: Any) -> frozenset[int] | set[int]:
+        """Document ids stored under ``key`` — a *frozen view*, not a copy.
+
+        The returned set is the index's live bucket (or a shared empty
+        frozenset); callers must treat it as read-only.  The planner and
+        ``Collection._match_ids`` immediately materialise their own sorted
+        candidate list, so no allocation happens on the probe itself.
+        """
+        bucket = self._buckets.get(key)
+        return bucket if bucket is not None else _EMPTY_IDS
 
     def contains_key(self, key: Any) -> bool:
         return key in self._buckets
 
 
 class SortedIndex:
-    """Ordered index over a single comparable field; supports range scans."""
+    """Ordered index over a single comparable field; supports range scans.
+
+    Entries are kept in blocks of at most ``2 * LOAD`` (key, id) pairs
+    (parallel lists), with a ``_maxes`` summary list holding each block's
+    largest key.  Point operations bisect ``_maxes`` to find the block,
+    then bisect inside it — so an insert shifts at most one block's worth
+    of entries instead of the whole index, the classic two-level sorted
+    list giving amortised O(sqrt(n)) updates while range scans stay a
+    simple in-order walk.
+
+    Duplicate keys preserve insertion order (inserts land after the
+    existing equal-key run), matching the previous flat implementation.
+    """
+
+    #: Half the maximum block size; blocks split once they exceed 2*LOAD.
+    LOAD = 512
 
     def __init__(self, path: str):
         self.path = path
-        self._keys: list[Any] = []
-        self._ids: list[int] = []
+        self._key_blocks: list[list[Any]] = []
+        self._id_blocks: list[list[int]] = []
+        self._maxes: list[Any] = []
+        self._length = 0
 
     def __len__(self) -> int:
-        return len(self._ids)
+        return self._length
+
+    # -- internals -----------------------------------------------------------
+
+    def _insert(self, key: Any, doc_id: int) -> None:
+        maxes = self._maxes
+        if not maxes:
+            self._key_blocks.append([key])
+            self._id_blocks.append([doc_id])
+            maxes.append(key)
+            self._length = 1
+            return
+        # First block whose max is > key keeps equal keys in arrival order;
+        # keys beyond every max go into the last block.
+        position = bisect_right(maxes, key)
+        if position == len(maxes):
+            position -= 1
+        keys = self._key_blocks[position]
+        ids = self._id_blocks[position]
+        offset = bisect_right(keys, key)
+        keys.insert(offset, key)
+        ids.insert(offset, doc_id)
+        if offset == len(keys) - 1:
+            maxes[position] = keys[-1]
+        self._length += 1
+        if len(keys) > 2 * self.LOAD:
+            half = len(keys) // 2
+            self._key_blocks[position : position + 1] = [keys[:half], keys[half:]]
+            self._id_blocks[position : position + 1] = [ids[:half], ids[half:]]
+            maxes[position : position + 1] = [keys[half - 1], keys[-1]]
+
+    def _delete(self, key: Any, doc_id: int) -> None:
+        """Remove one ``(key, doc_id)`` entry if present."""
+        maxes = self._maxes
+        position = bisect_left(maxes, key)
+        while position < len(maxes):
+            keys = self._key_blocks[position]
+            if keys and keys[0] > key:
+                return
+            ids = self._id_blocks[position]
+            left = bisect_left(keys, key)
+            right = bisect_right(keys, key)
+            for offset in range(left, right):
+                if ids[offset] == doc_id:
+                    del keys[offset]
+                    del ids[offset]
+                    self._length -= 1
+                    if not keys:
+                        del self._key_blocks[position]
+                        del self._id_blocks[position]
+                        del maxes[position]
+                    else:
+                        maxes[position] = keys[-1]
+                    return
+            if right < len(keys):
+                # The equal-key run ended inside this block: not present.
+                return
+            position += 1
+
+    # -- public API ----------------------------------------------------------
 
     def add(self, doc_id: int, document: Any) -> None:
         """Insert every comparable value the document exposes at the path."""
         for key in _index_keys(document, self.path):
             if isinstance(key, bool) or not isinstance(key, (int, float, str)):
                 continue
-            position = bisect.bisect_right(self._keys, key)
-            self._keys.insert(position, key)
-            self._ids.insert(position, doc_id)
+            self._insert(key, doc_id)
 
     def remove(self, doc_id: int, document: Any) -> None:
-        """Remove this document's entries (linear within equal-key run)."""
+        """Remove this document's entries (one per distinct key value)."""
         for key in _index_keys(document, self.path):
             if isinstance(key, bool) or not isinstance(key, (int, float, str)):
                 continue
-            left = bisect.bisect_left(self._keys, key)
-            right = bisect.bisect_right(self._keys, key)
-            for position in range(left, right):
-                if self._ids[position] == doc_id:
-                    del self._keys[position]
-                    del self._ids[position]
-                    break
+            self._delete(key, doc_id)
 
     def range(
         self,
@@ -120,21 +200,41 @@ class SortedIndex:
         include_high: bool = True,
     ) -> Iterator[int]:
         """Yield document ids with keys inside the given bounds, in order."""
+        maxes = self._maxes
+        if not maxes:
+            return
         if low is None:
-            start = 0
-        elif include_low:
-            start = bisect.bisect_left(self._keys, low)
+            position = 0
+            offset = 0
         else:
-            start = bisect.bisect_right(self._keys, low)
-        if high is None:
-            stop = len(self._keys)
-        elif include_high:
-            stop = bisect.bisect_right(self._keys, high)
-        else:
-            stop = bisect.bisect_left(self._keys, high)
-        for position in range(start, stop):
-            yield self._ids[position]
+            position = (
+                bisect_left(maxes, low) if include_low else bisect_right(maxes, low)
+            )
+            if position >= len(maxes):
+                return
+            keys = self._key_blocks[position]
+            offset = (
+                bisect_left(keys, low) if include_low else bisect_right(keys, low)
+            )
+        while position < len(self._key_blocks):
+            keys = self._key_blocks[position]
+            ids = self._id_blocks[position]
+            if high is None:
+                stop = len(keys)
+            elif include_high:
+                stop = bisect_right(keys, high)
+            else:
+                stop = bisect_left(keys, high)
+            for index in range(offset, stop):
+                yield ids[index]
+            if stop < len(keys):
+                return
+            position += 1
+            offset = 0
 
     def min_ids(self) -> Iterable[int]:
         """Ids ordered ascending by key (full scan order)."""
-        return list(self._ids)
+        result: list[int] = []
+        for ids in self._id_blocks:
+            result.extend(ids)
+        return result

@@ -43,16 +43,31 @@ class QueryPlanner:
         self._indexes = indexes
         self._sorted_indexes = sorted_indexes
 
-    def plan(self, query: dict[str, Any], collection_size: int) -> tuple[QueryPlan, set[int] | None]:
+    def plan(
+        self,
+        query: dict[str, Any],
+        collection_size: int,
+        equalities: dict[str, Any] | None = None,
+    ) -> tuple[QueryPlan, frozenset[int] | set[int] | None]:
         """Plan ``query``; returns the plan and candidate ids (None = scan).
 
         Strategy: among all indexed equality paths, pick the one with the
         smallest bucket (most selective).  A probe that finds no bucket
         short-circuits to an empty candidate set.
+
+        Args:
+            equalities: the query's top-level exact-equality constraints,
+                if the caller already has them (compiled predicates carry
+                them pre-extracted); recomputed from ``query`` otherwise.
+
+        The returned candidate set is a *frozen view* of the chosen index
+        bucket — callers must materialise it (``sorted(...)``) before
+        mutating the collection.
         """
-        equalities = extract_equality_paths(query)
+        if equalities is None:
+            equalities = extract_equality_paths(query)
         best_path: str | None = None
-        best_ids: set[int] | None = None
+        best_ids: frozenset[int] | set[int] | None = None
         for path, key in equalities.items():
             index = self._indexes.get(path)
             if index is None:
