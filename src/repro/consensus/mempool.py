@@ -14,12 +14,24 @@ class Mempool:
     Args:
         capacity: maximum resident transactions; beyond it, adds raise
             :class:`MempoolFullError` (clients are expected to retry).
+        seen_capacity: bound on the reaped-id dedup memory (defaults to
+            4x ``capacity``).  The memory used to grow without bound for
+            the life of the node; it is now a FIFO window — old enough
+            ids fall out, which is safe because the consensus layer keeps
+            its own committed-id set and re-gossip of long-committed
+            transactions dies there.  Within the window, a reaped or
+            committed transaction still cannot re-enter the pool.
     """
 
-    def __init__(self, capacity: int = 100_000):
+    def __init__(self, capacity: int = 100_000, seen_capacity: int | None = None):
         self.capacity = capacity
+        self.seen_capacity = seen_capacity if seen_capacity is not None else 4 * capacity
+        if self.seen_capacity < 1:
+            raise ValueError("seen_capacity must be >= 1")
         self._pool: "OrderedDict[str, TxEnvelope]" = OrderedDict()
-        self._seen: set[str] = set()
+        #: Reaped/committed ids only (pooled ids are their own dedup via
+        #: ``_pool``); insertion-ordered so eviction drops the oldest.
+        self._seen: "OrderedDict[str, None]" = OrderedDict()
         self.stats = {"added": 0, "duplicates": 0, "rejected_full": 0, "reaped": 0}
 
     def __len__(self) -> int:
@@ -27,6 +39,17 @@ class Mempool:
 
     def __contains__(self, tx_id: str) -> bool:
         return tx_id in self._pool
+
+    def seen_size(self) -> int:
+        """Resident dedup-memory entries (bounded by ``seen_capacity``)."""
+        return len(self._seen)
+
+    def _remember(self, tx_id: str) -> None:
+        """Record a reaped/committed id, evicting the oldest past the cap."""
+        self._seen[tx_id] = None
+        self._seen.move_to_end(tx_id)
+        while len(self._seen) > self.seen_capacity:
+            self._seen.popitem(last=False)
 
     def add(self, envelope: TxEnvelope) -> bool:
         """Admit an envelope.
@@ -37,14 +60,13 @@ class Mempool:
         Raises:
             MempoolFullError: at capacity.
         """
-        if envelope.tx_id in self._seen:
+        if envelope.tx_id in self._pool or envelope.tx_id in self._seen:
             self.stats["duplicates"] += 1
             return False
         if len(self._pool) >= self.capacity:
             self.stats["rejected_full"] += 1
             raise MempoolFullError(f"mempool at capacity ({self.capacity})")
         self._pool[envelope.tx_id] = envelope
-        self._seen.add(envelope.tx_id)
         self.stats["added"] += 1
         return True
 
@@ -75,6 +97,8 @@ class Mempool:
             weight += envelope.weight
         for envelope in skipped:
             self._pool[envelope.tx_id] = envelope
+        for envelope in batch:
+            self._remember(envelope.tx_id)
         self.stats["reaped"] += len(batch)
         return batch
 
@@ -110,14 +134,12 @@ class Mempool:
         """Drop transactions that were committed via another node's block."""
         for tx_id in tx_ids:
             self._pool.pop(tx_id, None)
-            self._seen.add(tx_id)
+            self._remember(tx_id)
 
     def flush_volatile(self) -> None:
         """Simulate a crash: resident transactions are lost, dedup memory
-        (backed by the chain itself) survives only for committed ids —
-        so we keep ``_seen`` intact for reaped ids but drop pending ones."""
-        pending = set(self._pool)
-        self._seen -= pending
+        (backed by the chain itself) survives for reaped/committed ids —
+        pending ids were never in it, so clearing the pool is the loss."""
         self._pool.clear()
 
     def pending_ids(self) -> list[str]:

@@ -64,11 +64,18 @@ class ClusterConfig:
 
 
 class SmartchainCluster:
-    """A full SmartchainDB deployment on a simulated network."""
+    """A full SmartchainDB deployment on a simulated network.
 
-    def __init__(self, config: ClusterConfig | None = None):
+    Args:
+        config: deployment parameters.
+        loop: optional shared event loop — a sharded deployment composes
+            several clusters on one loop so their simulated time advances
+            together and cross-shard protocols interleave with consensus.
+    """
+
+    def __init__(self, config: ClusterConfig | None = None, loop: EventLoop | None = None):
         self.config = config or ClusterConfig()
-        self.loop = EventLoop()
+        self.loop = loop or EventLoop()
         self.rng = SeededRng(self.config.seed)
         self.network = Network(self.loop, self.rng, self.config.network)
         self.reserved = ReservedAccounts()
@@ -119,12 +126,17 @@ class SmartchainCluster:
         payload: dict[str, Any],
         callback: DriverCallback | None = None,
         receiver: str | None = None,
+        shard_hint: str | None = None,
         _retry: bool = False,
     ):
         """Route a payload to a (random) receiver node — Fig. 4 lifecycle.
 
         The receiver performs full semantic validation (charged to the
         simulated clock), then gossips the transaction into mempools.
+
+        ``shard_hint`` exists for driver compatibility with sharded
+        deployments; a single cluster is its own (only) shard and ignores
+        the hint.
         """
         from repro.core.driver import SubmitResult  # local import to avoid cycle
 
@@ -268,3 +280,44 @@ class SmartchainCluster:
 
     def committed_records(self) -> list[TxRecord]:
         return [record for record in self.records.values() if record.committed_at is not None]
+
+    # -- cross-shard hooks (used by repro.sharding) --------------------------------
+
+    def add_spend_guard(self, guard) -> None:
+        """Install an external spend oracle on every node's validation
+        context.  The sharding coordinator uses this to make a remote
+        2PC lock on a local UTXO visible to local double-spend checks."""
+        for server in self.servers.values():
+            server.context.spend_guards.append(guard)
+
+    def import_reference_payloads(self, payloads: list[dict[str, Any]]) -> int:
+        """Replicate foreign transaction payloads into every node's store.
+
+        Cross-shard data shipping: before a transaction that spends
+        outputs held on another shard can validate here, the prior
+        transactions it references must be readable locally.  Imports are
+        idempotent (the unique ``id`` index is checked first) and count as
+        reference copies — they create no local UTXOs.
+        """
+        imported = 0
+        for server in self.servers.values():
+            transactions = server.database.collection("transactions")
+            for payload in payloads:
+                if transactions.find_one({"id": payload["id"]}, copy=False) is None:
+                    transactions.insert_one(payload)
+                    imported += 1
+        return imported
+
+    def consume_outputs(self, refs: list[tuple[str, int]]) -> None:
+        """Drop UTXO documents for outputs spent by a cross-shard commit.
+
+        The authoritative double-spend barrier is the coordinator's lock
+        tombstone; this keeps every node's wallet view (``utxos``) in
+        step with it.
+        """
+        for server in self.servers.values():
+            utxos = server.database.collection("utxos")
+            for transaction_id, output_index in refs:
+                utxos.delete_many(
+                    {"transaction_id": transaction_id, "output_index": output_index}
+                )

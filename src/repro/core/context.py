@@ -10,12 +10,17 @@ Algorithms 2-3).
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from repro.common.errors import DoubleSpendError, InputDoesNotExistError
 from repro.core.transaction import CREATE, OutputRef, REQUEST
 from repro.crypto.keys import ReservedAccounts
 from repro.storage.database import Database
+
+#: External double-spend oracle: returns the id of whatever holds/spends
+#: the output, or None.  Installed by cross-shard machinery so that a
+#: remote 2PC lock on a local UTXO is visible to local validation.
+SpendGuard = Callable[[OutputRef], "str | None"]
 
 
 class ValidationContext:
@@ -29,6 +34,9 @@ class ValidationContext:
         self._staged_spends: set[tuple[str, int]] = set()
         #: Payloads staged in the current block, by id.
         self._staged_txs: dict[str, dict[str, Any]] = {}
+        #: Extra spend oracles consulted by :meth:`output_spender` —
+        #: the lock hook the sharding coordinator installs.
+        self.spend_guards: list[SpendGuard] = []
 
     # -- committed-state queries (Algorithm 2/3 helpers) -----------------------
 
@@ -62,6 +70,10 @@ class ValidationContext:
         """Id of the committed transaction spending ``ref``, or None."""
         if (ref.transaction_id, ref.output_index) in self._staged_spends:
             return "<staged>"
+        for guard in self.spend_guards:
+            holder = guard(ref)
+            if holder is not None:
+                return holder
         spender = self._database.collection("transactions").find_one(
             {
                 "inputs.fulfills.transaction_id": ref.transaction_id,

@@ -98,6 +98,7 @@ class Driver:
         transaction: Transaction | dict[str, Any],
         callback: DriverCallback | None = None,
         mode: str = "async",
+        shard_hint: str | None = None,
     ) -> SubmitResult:
         """Submit a signed transaction to a random receiver node.
 
@@ -106,6 +107,9 @@ class Driver:
             callback: invoked with ("committed", payload) or
                 ("rejected", error) once the outcome is known.
             mode: "sync" (fire-and-forget) or "async" (callback-driven).
+            shard_hint: on a sharded deployment, pin the transaction's
+                home shard instead of letting the router derive it; a
+                single cluster ignores it.
 
         Returns:
             A :class:`SubmitResult`; ``accepted`` reflects only receiver
@@ -115,4 +119,6 @@ class Driver:
         if mode not in ("sync", "async"):
             raise ReproError(f"unknown driver mode {mode!r}")
         effective_callback = callback if mode == "async" else None
-        return self._cluster.submit_payload(payload, callback=effective_callback)
+        return self._cluster.submit_payload(
+            payload, callback=effective_callback, shard_hint=shard_hint
+        )

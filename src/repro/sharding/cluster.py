@@ -1,0 +1,274 @@
+"""The sharded deployment: N BFT groups behind one driver-compatible facade.
+
+A :class:`ShardedCluster` owns one shared event loop, a consistent-hash
+ring over shard ids, one :class:`~repro.core.cluster.SmartchainCluster`
+per shard (each with its own validator network, storage and mempool) and
+one 2PC agent per shard.  It exposes the same surface the single-cluster
+deployment gives the Driver — ``submit_payload`` / ``run`` / ``records``
+— so examples, scenario runners and benchmarks drive either transparently.
+
+Single-shard transactions (the overwhelming majority under asset-local
+routing) go straight into their home shard's BFT group and cost exactly
+what they cost on one cluster.  Cross-shard transactions detour through
+:class:`~repro.sharding.coordinator.TwoPhaseCoordinator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.encoding import canonical_bytes, deep_copy_json
+from repro.common.errors import ValidationError
+from repro.consensus.tendermint import tendermint_config
+from repro.core.cluster import ClusterConfig, SmartchainCluster, TxRecord
+from repro.core.driver import Driver, DriverCallback, SubmitResult
+from repro.metrics.collector import RunMetrics, collect_metrics
+from repro.sharding.coordinator import (
+    COORDINATOR_NODE,
+    CoordinatorConfig,
+    TwoPhaseCoordinator,
+)
+from repro.sharding.ring import ConsistentHashRing
+from repro.sharding.router import RoutingDecision, ShardRouter
+from repro.sim.events import EventLoop
+
+
+@dataclass
+class ShardedClusterConfig:
+    """Everything tunable about a sharded deployment."""
+
+    n_shards: int = 2
+    #: Validators per shard (each shard is an independent BFT group).
+    n_validators: int = 4
+    seed: int = 2024
+    virtual_nodes: int = 64
+    max_block_txs: int = 8
+    coordinator: CoordinatorConfig = field(default_factory=CoordinatorConfig)
+    #: Retry cadence when a cross-shard submit meets a crashed coordinator.
+    submit_retry_delay: float = 1.0
+    submit_max_retries: int = 20
+
+
+class ShardedCluster:
+    """N independent SmartchainDB BFT groups + routing + 2PC, one facade."""
+
+    def __init__(self, config: ShardedClusterConfig | None = None):
+        self.config = config or ShardedClusterConfig()
+        if self.config.n_shards < 1:
+            raise ValueError("a sharded cluster needs at least one shard")
+        self.loop = EventLoop()
+        self.shard_ids = [f"shard-{index}" for index in range(self.config.n_shards)]
+        self.ring = ConsistentHashRing(self.shard_ids, self.config.virtual_nodes)
+        self.router = ShardRouter(self.ring)
+        self.shards: dict[str, SmartchainCluster] = {}
+        for index, shard_id in enumerate(self.shard_ids):
+            shard_config = ClusterConfig(
+                n_validators=self.config.n_validators,
+                # Decorrelate per-shard stochastic choices (receiver picks,
+                # network jitter) without losing determinism.
+                seed=self.config.seed + 7919 * index,
+                consensus=tendermint_config(max_block_txs=self.config.max_block_txs),
+            )
+            self.shards[shard_id] = SmartchainCluster(shard_config, loop=self.loop)
+        self.agents: dict[str, TwoPhaseCoordinator] = {
+            shard_id: TwoPhaseCoordinator(
+                shard_id,
+                cluster,
+                self.loop,
+                self.agent_for,
+                self._cross_outcome,
+                self.config.coordinator,
+            )
+            for shard_id, cluster in self.shards.items()
+        }
+        # All shards derive the same reserved (escrow) accounts.
+        self.reserved = self.shards[self.shard_ids[0]].reserved
+        self.driver = Driver(self)
+        #: Facade-level lifecycle records for cross-shard transactions
+        #: (their submit time predates the home-shard submit by the whole
+        #: prepare phase, which is exactly the latency worth measuring).
+        self.cross_records: dict[str, TxRecord] = {}
+        self._cross_callbacks: dict[str, DriverCallback] = {}
+        for shard_id, cluster in self.shards.items():
+            cluster.engine.commit_listeners.append(
+                lambda record, sid=shard_id: self._on_shard_commit(sid, record)
+            )
+
+    # -- topology ---------------------------------------------------------------
+
+    def shard(self, shard: str | int) -> SmartchainCluster:
+        """A shard's BFT cluster, by id or index."""
+        if isinstance(shard, int):
+            shard = self.shard_ids[shard]
+        return self.shards[shard]
+
+    def agent_for(self, shard_id: str) -> TwoPhaseCoordinator:
+        return self.agents[shard_id]
+
+    def crash_coordinator(self, shard: str | int) -> None:
+        """Kill a shard's 2PC agent (its BFT nodes keep running)."""
+        self.shard(shard).failures.crash_now(COORDINATOR_NODE)
+
+    def recover_coordinator(self, shard: str | int) -> None:
+        self.shard(shard).failures.recover_now(COORDINATOR_NODE)
+
+    # -- submission --------------------------------------------------------------
+
+    def submit_payload(
+        self,
+        payload: dict[str, Any],
+        callback: DriverCallback | None = None,
+        receiver: str | None = None,
+        shard_hint: str | None = None,
+    ) -> SubmitResult:
+        """Route a payload to its home shard (2PC when inputs are remote)."""
+        decision = self.router.route(payload, shard_hint)
+        self.router.record_home(decision.tx_id, decision.home)
+        if not decision.cross_shard:
+            return self.shards[decision.home].submit_payload(
+                payload, callback, receiver=receiver
+            )
+        tx_id = payload.get("id", "")
+        operation = payload.get("operation", "?")
+        existing = self.cross_records.get(tx_id)
+        if existing is not None and existing.rejected is None:
+            return SubmitResult(tx_id, operation, accepted=True)
+        payload = deep_copy_json(payload)
+        record = TxRecord(
+            tx_id,
+            operation,
+            len(canonical_bytes(payload)),
+            submitted_at=self.loop.clock.now,
+        )
+        self.cross_records[tx_id] = record
+        if callback is not None:
+            self._cross_callbacks[tx_id] = callback
+        self._begin_cross(payload, decision, attempt=0)
+        return SubmitResult(tx_id, operation, accepted=True)
+
+    def _begin_cross(
+        self, payload: dict[str, Any], decision: RoutingDecision, attempt: int
+    ) -> None:
+        agent = self.agents[decision.home]
+        if agent.crashed:
+            # Mirrors the single-cluster crashed-receiver retry loop, but
+            # bounded so an abandoned coordinator cannot spin the loop.
+            if attempt >= self.config.submit_max_retries:
+                record = self.cross_records[decision.tx_id]
+                record.rejected = f"coordinator for {decision.home} unavailable"
+                self._fire_cross(decision.tx_id, "rejected", record.rejected)
+                return
+            self.loop.schedule_in(
+                self.config.submit_retry_delay,
+                lambda: self._begin_cross(payload, decision, attempt + 1),
+            )
+            return
+        agent.begin(payload, decision)
+
+    def _cross_outcome(self, tx_id: str, outcome: str, detail: Any) -> None:
+        record = self.cross_records.get(tx_id)
+        if record is None:
+            return
+        if outcome == "committed":
+            if record.committed_at is None:
+                record.committed_at = self.loop.clock.now
+            self._fire_cross(tx_id, "committed", detail)
+        else:
+            record.rejected = str(detail)
+            self._fire_cross(tx_id, "rejected", detail)
+
+    def _fire_cross(self, tx_id: str, status: str, detail: Any) -> None:
+        callback = self._cross_callbacks.pop(tx_id, None)
+        if callback is not None:
+            callback(status, detail)
+
+    def _on_shard_commit(self, shard_id: str, record) -> None:
+        # Placement memory: spends of these outputs route to this shard.
+        for envelope in record.block.transactions:
+            self.router.record_home(envelope.tx_id, shard_id)
+
+    # -- driver-facade conveniences ----------------------------------------------
+
+    @property
+    def records(self) -> dict[str, TxRecord]:
+        """Aggregate lifecycle records (one full merge per access — for
+        bulk consumers like metrics; per-transaction lookups should use
+        :meth:`record_for`).
+
+        Cross-shard transactions appear once, with their facade record
+        (true submit time) shadowing the home shard's later-submitted one.
+        """
+        merged: dict[str, TxRecord] = {}
+        for cluster in self.shards.values():
+            merged.update(cluster.records)
+        merged.update(self.cross_records)
+        return merged
+
+    def record_for(self, tx_id: str) -> TxRecord | None:
+        """One transaction's lifecycle record, without merging anything."""
+        record = self.cross_records.get(tx_id)
+        if record is not None:
+            return record
+        for cluster in self.shards.values():
+            record = cluster.records.get(tx_id)
+            if record is not None:
+                return record
+        return None
+
+    def run(self, duration: float | None = None, max_events: int = 5_000_000) -> None:
+        """Advance every shard (they share one loop) until idle/deadline."""
+        if duration is None:
+            self.loop.run_until_idle(max_events=max_events)
+        else:
+            self.loop.run(until=self.loop.clock.now + duration, max_events=max_events)
+
+    def submit_and_settle(self, transaction, max_events: int = 5_000_000) -> TxRecord:
+        payload = transaction.to_dict() if hasattr(transaction, "to_dict") else transaction
+        self.submit_payload(payload)
+        self.loop.run_until_idle(max_events=max_events)
+        return self.record_for(payload["id"])
+
+    def committed_records(self) -> list[TxRecord]:
+        return [
+            record for record in self.records.values() if record.committed_at is not None
+        ]
+
+    def any_server(self):
+        """A live server from any shard (queries that span the keyspace
+        still need per-shard fan-out; this is for schema-level reads)."""
+        for cluster in self.shards.values():
+            try:
+                return cluster.any_server()
+            except ValidationError:
+                continue
+        raise ValidationError("all nodes of every shard are down")
+
+    # -- metrics ------------------------------------------------------------------
+
+    def per_shard_metrics(self) -> dict[str, RunMetrics]:
+        """Independent RunMetrics per shard (home-shard view)."""
+        return {
+            shard_id: collect_metrics(shard_id, cluster.records.values())
+            for shard_id, cluster in self.shards.items()
+        }
+
+    def aggregate_metrics(self) -> RunMetrics:
+        """Deployment-wide metrics over the merged record set."""
+        return collect_metrics("SHARDED", self.records.values())
+
+    def placement_stats(self) -> dict[str, Any]:
+        """Routing + 2PC counters for benchmarks and the CLI."""
+        per_shard = {
+            shard_id: {
+                "committed": sum(
+                    1
+                    for record in cluster.records.values()
+                    if record.committed_at is not None
+                ),
+                "locks_granted": self.agents[shard_id].stats["locks_granted"],
+                "coordinated": self.agents[shard_id].stats["coordinated"],
+            }
+            for shard_id, cluster in self.shards.items()
+        }
+        return {"router": dict(self.router.stats), "shards": per_shard}

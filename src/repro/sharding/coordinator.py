@@ -1,0 +1,513 @@
+"""Two-phase commit across shards.
+
+One :class:`TwoPhaseCoordinator` agent runs per shard, playing both 2PC
+roles:
+
+* **coordinator** for cross-shard transactions *homed* on its shard —
+  it prepares remote input locks, drives the home BFT commit, then
+  broadcasts the commit/abort decision;
+* **participant** (resource manager) for remote coordinators — it locks
+  locally-held UTXOs at prepare, makes the lock visible to local
+  validation through the cluster's spend guard, and consumes or releases
+  the lock when the decision arrives.
+
+The protocol per cross-shard transaction ``T`` homed on ``H``:
+
+1. ``H`` durably records intent in its ``shard_outbox`` (state
+   ``preparing``) and sends PREPARE for the refs each remote shard holds.
+2. Each participant verifies the ref is committed, unspent and unlocked,
+   writes a durable ``prepared`` row in its ``shard_locks`` table (from
+   that instant local validation rejects competing spends), and votes
+   YES, shipping the referenced payloads so ``H`` can validate ``T``.
+3. On unanimous YES, ``H`` imports the shipped payloads, flips the
+   outbox to ``commit_pending`` and submits ``T`` to its own BFT group —
+   the home chain is the commit point.
+4. When ``T`` commits (or is rejected) there, ``H`` records the outcome
+   and broadcasts COMMIT/ABORT; participants turn prepared locks into
+   permanent ``committed`` tombstones and drop the spent UTXO, or delete
+   the locks, and acknowledge.
+
+All messages and timers run on the shared simulated event loop, so
+:mod:`repro.sim.failures` schedules can kill either side mid-protocol.
+Crash recovery preserves atomicity:
+
+* coordinator crash with state ``preparing`` → presumed abort (no home
+  submit happened yet);
+* crash with ``commit_pending`` → the home chain is consulted: committed
+  → COMMIT is (re)broadcast, rejected → ABORT, in flight → the pending
+  commit callback resolves it;
+* decided-but-unacknowledged outcomes are re-broadcast on recovery; a
+  participant re-inquires about stale ``prepared`` locks on a timer and
+  after its own recovery — so no UTXO stays locked once both sides are
+  eventually up, and a lock is only ever consumed by the one transaction
+  the home chain actually committed.
+
+Message loss is bounded-retried; when retries exhaust while the other
+side is down, the state parks durably and the next recovery (either
+side) resumes it — keeping the event loop finite for ``run_until_idle``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.common.encoding import deep_copy_json
+from repro.common.errors import ValidationError
+from repro.core.cluster import SmartchainCluster
+from repro.core.transaction import OutputRef
+from repro.sharding.router import RoutingDecision
+from repro.sim.events import EventLoop
+from repro.storage.database import SMARTCHAINDB_LAYOUT, Database
+
+#: Pseudo-node id the coordinator occupies in its shard's failure domain.
+COORDINATOR_NODE = "coordinator"
+
+#: Outcome callback the owning facade registers:
+#: (tx_id, "committed" | "aborted", reason_or_None).
+OutcomeCallback = Callable[[str, str, "str | None"], None]
+
+
+@dataclass
+class CoordinatorConfig:
+    """Timing knobs of the cross-shard protocol (simulated seconds)."""
+
+    #: One-way latency of coordinator <-> participant messages.
+    inter_shard_delay: float = 0.005
+    #: How long the coordinator waits for prepare votes before aborting.
+    prepare_timeout: float = 1.0
+    #: How long a participant holds a prepared lock before inquiring.
+    lock_timeout: float = 2.0
+    #: Spacing between decision re-broadcasts / repeated inquiries.
+    retry_interval: float = 0.5
+    #: Bounded retries; beyond them the state parks until a recovery.
+    max_retries: int = 8
+
+
+class TwoPhaseCoordinator:
+    """Per-shard 2PC agent (coordinator + participant roles).
+
+    Args:
+        shard_id: the shard this agent serves.
+        cluster: that shard's BFT cluster (home commits, UTXO views).
+        loop: the deployment-wide event loop.
+        peer_lookup: resolves a shard id to its agent.
+        on_outcome: facade callback fired exactly once per home
+            cross-shard transaction with the final outcome.
+        config: protocol timings.
+    """
+
+    def __init__(
+        self,
+        shard_id: str,
+        cluster: SmartchainCluster,
+        loop: EventLoop,
+        peer_lookup: Callable[[str], "TwoPhaseCoordinator"],
+        on_outcome: OutcomeCallback,
+        config: CoordinatorConfig | None = None,
+    ):
+        self.shard_id = shard_id
+        self.cluster = cluster
+        self.config = config or CoordinatorConfig()
+        self._loop = loop
+        self._peer = peer_lookup
+        self._on_outcome = on_outcome
+        self.crashed = False
+        #: Durable agent state: survives crashes, like any node database.
+        self.durable = Database(f"shard-agent-{shard_id}")
+        for name in ("shard_locks", "shard_outbox"):
+            collection = self.durable.create_collection(name)
+            for path, unique in SMARTCHAINDB_LAYOUT[name]:
+                collection.create_index(path, unique=unique)
+        # Volatile protocol state (lost on crash, rebuilt from durable).
+        self._votes: dict[str, dict[str, bool]] = {}
+        self._vote_payloads: dict[str, list[dict[str, Any]]] = {}
+        self._acks: dict[str, set[str]] = {}
+        self._timers: dict[tuple[str, str], Any] = {}
+        self._epoch = 0
+        self.stats = {
+            "coordinated": 0,
+            "committed": 0,
+            "aborted": 0,
+            "locks_granted": 0,
+            "locks_refused": 0,
+            "inquiries": 0,
+        }
+        # Remote prepared locks must be visible to this shard's own
+        # validation path — the commit/lock hook the cluster exposes.
+        cluster.add_spend_guard(self._spend_guard)
+        cluster.failures.register_callbacks(
+            COORDINATOR_NODE, on_crash=self.on_crash, on_recover=self.on_recover
+        )
+
+    # -- plumbing ---------------------------------------------------------------
+
+    @property
+    def _outbox(self):
+        return self.durable.collection("shard_outbox")
+
+    @property
+    def _locks(self):
+        return self.durable.collection("shard_locks")
+
+    def _send(self, target_shard: str, method: str, *args: Any) -> None:
+        """Deliver ``method(*args)`` on the target agent after the
+        inter-shard latency; dropped if the target is down on arrival."""
+        target = self._peer(target_shard)
+        self._loop.schedule_in(
+            self.config.inter_shard_delay, lambda: target._deliver(method, args)
+        )
+
+    def _deliver(self, method: str, args: tuple) -> None:
+        if self.crashed:
+            return  # message lost at a crashed agent
+        getattr(self, method)(*args)
+
+    def _arm(self, kind: str, tx_id: str, delay: float, callback: Callable[[], None]) -> None:
+        """Volatile named timer: dies with the arming epoch and must be
+        cancelled (:meth:`_disarm`) once its protocol step resolves —
+        a dangling timeout would otherwise stretch ``run_until_idle``
+        past it and distort every simulated-time measurement."""
+        self._disarm(kind, tx_id)
+        epoch = self._epoch
+
+        def fire() -> None:
+            self._timers.pop((kind, tx_id), None)
+            if self.crashed or self._epoch != epoch:
+                return
+            callback()
+
+        self._timers[(kind, tx_id)] = self._loop.schedule_in(delay, fire)
+
+    def _disarm(self, kind: str, tx_id: str) -> None:
+        handle = self._timers.pop((kind, tx_id), None)
+        if handle is not None:
+            handle.cancel()
+
+    def _spend_guard(self, ref: OutputRef) -> str | None:
+        """Local validation oracle: who holds/spent this output remotely."""
+        lock = self._locks.find_one(
+            {"transaction_id": ref.transaction_id, "output_index": ref.output_index},
+            copy=False,
+        )
+        if lock is None:
+            return None
+        return f"shard-lock:{lock['holder']}"
+
+    def _any_server(self):
+        try:
+            return self.cluster.any_server()
+        except ValidationError:
+            return None
+
+    # -- coordinator role -------------------------------------------------------
+
+    def begin(self, payload: dict[str, Any], decision: RoutingDecision) -> None:
+        """Start 2PC for a cross-shard transaction homed on this shard.
+
+        Re-beginning after an abort is a legitimate client retry: the
+        terminal outbox row is replaced.  A begin for a transaction that
+        is still in flight (or already committed) is a no-op.
+        """
+        tx_id = payload["id"]
+        existing = self._outbox.find_one({"tx_id": tx_id}, copy=False)
+        if existing is not None:
+            if existing["outcome"] != "aborted":
+                return  # in flight or already committed: nothing to do
+            self._outbox.delete_many({"tx_id": tx_id})
+        participants = {
+            shard: [[ref.transaction_id, ref.output_index] for ref in refs]
+            for shard, refs in decision.input_shards.items()
+            if shard != self.shard_id
+        }
+        self._outbox.insert_one(
+            {
+                "tx_id": tx_id,
+                "payload": payload,
+                "home": self.shard_id,
+                "participants": participants,
+                "state": "preparing",
+                "outcome": None,
+                "reason": None,
+            }
+        )
+        self.stats["coordinated"] += 1
+        self._votes[tx_id] = {}
+        self._vote_payloads[tx_id] = []
+        for shard, refs in participants.items():
+            self._send(shard, "handle_prepare", self.shard_id, tx_id, refs)
+        self._arm(
+            "prepare", tx_id, self.config.prepare_timeout,
+            lambda: self._prepare_timed_out(tx_id),
+        )
+
+    def _prepare_timed_out(self, tx_id: str) -> None:
+        doc = self._outbox.find_one({"tx_id": tx_id}, copy=False)
+        if doc is not None and doc["state"] == "preparing":
+            self._decide(tx_id, "aborted", "prepare timeout")
+
+    def handle_vote(
+        self, tx_id: str, voter_shard: str, ok: bool, detail: Any
+    ) -> None:
+        doc = self._outbox.find_one({"tx_id": tx_id}, copy=False)
+        if doc is None or doc["state"] != "preparing":
+            # Decision already taken (e.g. timeout abort, broadcast to
+            # every participant) — a straggling vote changes nothing.
+            return
+        votes = self._votes.setdefault(tx_id, {})
+        votes[voter_shard] = ok
+        if not ok:
+            self._decide(tx_id, "aborted", f"participant {voter_shard}: {detail}")
+            return
+        self._vote_payloads.setdefault(tx_id, []).extend(detail)
+        if set(votes) == set(doc["participants"]):
+            # Unanimous YES: ship the foreign payloads so home validation
+            # can resolve the remote inputs, record intent durably, then
+            # let the home chain be the commit point.
+            self.cluster.import_reference_payloads(self._vote_payloads.pop(tx_id, []))
+            self._outbox.update_many(
+                {"tx_id": tx_id}, {"$set": {"state": "commit_pending"}}
+            )
+            self._submit_home(tx_id, doc["payload"])
+
+    def _submit_home(self, tx_id: str, payload: dict[str, Any]) -> None:
+        result = self.cluster.submit_payload(
+            payload,
+            callback=lambda status, detail: self._home_settled(tx_id, status, detail),
+        )
+        if not result.accepted:
+            # Admission failed outright (e.g. every home validator is
+            # down) — the callback will never fire, so abort here or the
+            # participants' prepared locks would be held forever.
+            self._home_settled(tx_id, "rejected", result.error or "home admission failed")
+
+    def _home_settled(self, tx_id: str, status: str, detail: Any) -> None:
+        if self.crashed:
+            return  # recovery re-resolves from the home chain
+        doc = self._outbox.find_one({"tx_id": tx_id}, copy=False)
+        if doc is None or doc["state"] != "commit_pending":
+            return
+        if status == "committed":
+            self._decide(tx_id, "committed", None)
+        else:
+            self._decide(tx_id, "aborted", f"home rejection: {detail}")
+
+    def _decide(self, tx_id: str, outcome: str, reason: str | None) -> None:
+        doc = self._outbox.find_one({"tx_id": tx_id}, copy=False)
+        if doc is None or doc["state"] in ("committed", "aborted", "done"):
+            return
+        self._outbox.update_many(
+            {"tx_id": tx_id},
+            {"$set": {"state": outcome, "outcome": outcome, "reason": reason}},
+        )
+        self._disarm("prepare", tx_id)
+        self._votes.pop(tx_id, None)
+        self._vote_payloads.pop(tx_id, None)
+        self._acks.setdefault(tx_id, set())
+        self.stats["committed" if outcome == "committed" else "aborted"] += 1
+        # Committed outcomes hand the payload to the facade callback so a
+        # driver client sees the same ("committed", payload) contract a
+        # single cluster gives it.
+        self._on_outcome(
+            tx_id, outcome, doc["payload"] if outcome == "committed" else reason
+        )
+        self._broadcast_decision(tx_id, outcome, attempt=0)
+
+    def _broadcast_decision(self, tx_id: str, outcome: str, attempt: int) -> None:
+        doc = self._outbox.find_one({"tx_id": tx_id}, copy=False)
+        if doc is None or doc["state"] == "done":
+            return
+        acked = self._acks.setdefault(tx_id, set())
+        pending = [shard for shard in doc["participants"] if shard not in acked]
+        if not pending:
+            self._outbox.update_many({"tx_id": tx_id}, {"$set": {"state": "done"}})
+            self._disarm("retry", tx_id)
+            return
+        for shard in pending:
+            self._send(shard, "handle_decision", self.shard_id, tx_id, outcome)
+        if attempt < self.config.max_retries:
+            self._arm(
+                "retry", tx_id, self.config.retry_interval,
+                lambda: self._broadcast_decision(tx_id, outcome, attempt + 1),
+            )
+        # Retries exhausted: park; the participant's recovery inquiry or
+        # this coordinator's own recovery re-broadcast finishes the job.
+
+    def handle_ack(self, tx_id: str, participant_shard: str) -> None:
+        acked = self._acks.setdefault(tx_id, set())
+        acked.add(participant_shard)
+        doc = self._outbox.find_one({"tx_id": tx_id}, copy=False)
+        if (
+            doc is not None
+            and doc["state"] in ("committed", "aborted")
+            and set(doc["participants"]) <= acked
+        ):
+            self._outbox.update_many({"tx_id": tx_id}, {"$set": {"state": "done"}})
+            self._disarm("retry", tx_id)
+
+    def handle_inquiry(self, participant_shard: str, tx_id: str) -> None:
+        """Participant termination protocol: answer with any final outcome."""
+        self.stats["inquiries"] += 1
+        doc = self._outbox.find_one({"tx_id": tx_id}, copy=False)
+        if doc is None:
+            # No durable intent: this coordinator never began (or the
+            # record predates it) — presumed abort.
+            self._send(participant_shard, "handle_decision", self.shard_id, tx_id, "aborted")
+            return
+        if doc["outcome"] is not None:
+            self._send(
+                participant_shard, "handle_decision", self.shard_id, tx_id, doc["outcome"]
+            )
+        # Still preparing / commit_pending: stay silent — the decision
+        # broadcast will reach the participant when it is taken.
+
+    # -- participant role -------------------------------------------------------
+
+    def handle_prepare(
+        self, coordinator_shard: str, tx_id: str, refs: list[list]
+    ) -> None:
+        """Lock locally-held UTXOs for a remote transaction, or vote no."""
+        resolved = [OutputRef(item[0], int(item[1])) for item in refs]
+        server = self._any_server()
+        reason: str | None = None
+        payloads: list[dict[str, Any]] = []
+        if server is None:
+            reason = "no live node to read shard state"
+        else:
+            utxos = server.database.collection("utxos")
+            for ref in resolved:
+                holder = self._spend_guard(ref)
+                if holder is not None:
+                    reason = f"{ref.transaction_id[:8]}:{ref.output_index} held by {holder}"
+                    break
+                prior = server.get_transaction(ref.transaction_id)
+                if prior is None:
+                    reason = f"{ref.transaction_id[:8]} not committed on {self.shard_id}"
+                    break
+                if (
+                    utxos.find_one(
+                        {
+                            "transaction_id": ref.transaction_id,
+                            "output_index": ref.output_index,
+                        },
+                        copy=False,
+                    )
+                    is None
+                ):
+                    reason = f"{ref.transaction_id[:8]}:{ref.output_index} already spent"
+                    break
+                payloads.append(deep_copy_json(prior))
+        if reason is not None:
+            self.stats["locks_refused"] += 1
+            self._send(coordinator_shard, "handle_vote", tx_id, self.shard_id, False, reason)
+            return
+        now = self._loop.clock.now
+        for ref in resolved:
+            self._locks.insert_one(
+                {
+                    "transaction_id": ref.transaction_id,
+                    "output_index": ref.output_index,
+                    "holder": tx_id,
+                    "coordinator": coordinator_shard,
+                    "status": "prepared",
+                    "locked_at": now,
+                }
+            )
+        self.stats["locks_granted"] += len(resolved)
+        self._arm(
+            "lock", tx_id, self.config.lock_timeout,
+            lambda: self._inquire(tx_id, coordinator_shard, 0),
+        )
+        self._send(coordinator_shard, "handle_vote", tx_id, self.shard_id, True, payloads)
+
+    def handle_decision(self, coordinator_shard: str, tx_id: str, outcome: str) -> None:
+        """Apply a coordinator decision to this shard's locks (idempotent)."""
+        prepared = self._locks.find({"holder": tx_id, "status": "prepared"})
+        if outcome == "committed":
+            refs = [(lock["transaction_id"], lock["output_index"]) for lock in prepared]
+            if refs:
+                # The spend is decided on the home chain: retire the UTXO
+                # and keep the lock as a permanent spent tombstone.
+                self.cluster.consume_outputs(refs)
+                self._locks.update_many(
+                    {"holder": tx_id, "status": "prepared"},
+                    {"$set": {"status": "committed"}},
+                )
+        else:
+            self._locks.delete_many({"holder": tx_id, "status": "prepared"})
+        self._disarm("lock", tx_id)
+        self._send(coordinator_shard, "handle_ack", tx_id, self.shard_id)
+
+    def _inquire(self, tx_id: str, coordinator_shard: str, attempt: int) -> None:
+        still_held = self._locks.find_one(
+            {"holder": tx_id, "status": "prepared"}, copy=False
+        )
+        if still_held is None:
+            return  # decision arrived meanwhile
+        self._send(coordinator_shard, "handle_inquiry", self.shard_id, tx_id)
+        if attempt < self.config.max_retries:
+            self._arm(
+                "lock", tx_id, self.config.retry_interval,
+                lambda: self._inquire(tx_id, coordinator_shard, attempt + 1),
+            )
+        # Else park: resolved when either side recovers.
+
+    # -- crash / recovery -------------------------------------------------------
+
+    def on_crash(self) -> None:
+        """Volatile protocol state dies; durable outbox/locks survive."""
+        self.crashed = True
+        self._epoch += 1
+        self._votes.clear()
+        self._vote_payloads.clear()
+        self._acks.clear()
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+
+    def on_recover(self) -> None:
+        """Resume every unfinished protocol instance from durable state."""
+        self.crashed = False
+        self._epoch += 1
+        # Coordinator side: drive each outbox record to completion.
+        for doc in self._outbox.find({}):
+            tx_id, state = doc["tx_id"], doc["state"]
+            if state == "preparing":
+                # No home submit happened yet — presumed abort releases
+                # any remote locks granted before the crash.
+                self._decide(tx_id, "aborted", "coordinator crashed during prepare")
+            elif state == "commit_pending":
+                self._resolve_commit_pending(tx_id, doc)
+            elif state in ("committed", "aborted"):
+                self._broadcast_decision(tx_id, state, attempt=0)
+        # Participant side: chase a decision for every lock still prepared.
+        chased: set[tuple[str, str]] = set()
+        for lock in self._locks.find({"status": "prepared"}, copy=False):
+            chased.add((lock["holder"], lock["coordinator"]))
+        for holder, coordinator_shard in sorted(chased):
+            self._inquire(holder, coordinator_shard, 0)
+
+    def _resolve_commit_pending(self, tx_id: str, doc: dict[str, Any]) -> None:
+        """The home chain is the truth for an interrupted commit phase."""
+        record = self.cluster.records.get(tx_id)
+        if record is None:
+            # Crashed between the outbox flip and the home submit; the
+            # shipped payloads are already imported, so just resubmit.
+            self._submit_home(tx_id, doc["payload"])
+        elif record.committed_at is not None:
+            self._decide(tx_id, "committed", None)
+        elif record.rejected is not None:
+            self._decide(tx_id, "aborted", f"home rejection: {record.rejected}")
+        # Else the home BFT is still working on it and the registered
+        # submit callback (which checks the *current* crash flag) will
+        # settle the outcome when it fires.
+
+    # -- introspection ----------------------------------------------------------
+
+    def active_locks(self) -> list[dict[str, Any]]:
+        """Prepared (not yet decided) locks this shard currently holds."""
+        return self._locks.find({"status": "prepared"})
+
+    def unfinished(self) -> list[dict[str, Any]]:
+        """Outbox records not yet fully acknowledged."""
+        return self._outbox.find({"state": {"$ne": "done"}})

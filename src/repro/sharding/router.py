@@ -1,0 +1,131 @@
+"""Shard-aware transaction routing.
+
+Every transaction has exactly one **home shard** — the BFT group that
+orders and commits it — and zero or more **participant shards** holding
+the UTXOs its inputs spend.  Placement follows the data:
+
+* genesis operations (CREATE, REQUEST) are placed by their own id —
+  the asset/RFQ is born on its ring shard;
+* marketplace operations (BID, ACCEPT_BID, RETURN) follow their RFQ
+  (``references[0]``), so one auction's bids, acceptance and returns
+  all commit in one BFT group;
+* other spending operations (TRANSFER) follow their first input — the
+  transaction goes where the UTXO lives;
+* an explicit ``metadata["shard_key"]`` (or a submit-time hint)
+  overrides all of the above — the escape hatch that lets a TRANSFER
+  *migrate* an asset to another shard, which is what makes a spend
+  cross-shard in the first place.
+
+A transaction whose inputs all live on its home shard is single-shard
+and commits through the home group alone; any remote input makes it
+cross-shard and routes it through the 2PC coordinator instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.transaction import OutputRef
+from repro.sharding.ring import ConsistentHashRing
+
+#: Metadata key callers set to pin / migrate a transaction's home shard.
+SHARD_KEY_METADATA = "shard_key"
+
+#: Operations routed by the RFQ they reference.
+_RFQ_ROUTED = frozenset({"BID", "ACCEPT_BID", "RETURN"})
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """Where one transaction executes."""
+
+    tx_id: str
+    operation: str
+    home: str
+    #: participant shard -> refs of the inputs it holds (home included).
+    input_shards: dict[str, tuple[OutputRef, ...]] = field(default_factory=dict)
+
+    @property
+    def remote_shards(self) -> list[str]:
+        """Participant shards other than home, sorted for determinism."""
+        return sorted(shard for shard in self.input_shards if shard != self.home)
+
+    @property
+    def cross_shard(self) -> bool:
+        return bool(self.remote_shards)
+
+
+class ShardRouter:
+    """Routes payloads onto a :class:`ConsistentHashRing`.
+
+    The router learns where transactions actually committed
+    (:meth:`record_home`) so that spends of an asset that migrated
+    across shards keep following its current location, not its birth
+    shard.
+    """
+
+    def __init__(self, ring: ConsistentHashRing):
+        self.ring = ring
+        #: tx id -> shard it committed (or was submitted) on.  Grows with
+        #: the ledger; safe eviction needs per-output spent tracking
+        #: (dropping an entry whose outputs are live would mis-route its
+        #: spends) and lands with the rebalancing PR.
+        self._tx_home: dict[str, str] = {}
+        self.stats = {"routed": 0, "single_shard": 0, "cross_shard": 0}
+
+    # -- placement memory -----------------------------------------------------
+
+    def record_home(self, tx_id: str, shard_id: str) -> None:
+        """Remember which shard owns a transaction's outputs."""
+        self._tx_home[tx_id] = shard_id
+
+    def home_of_tx(self, tx_id: str) -> str:
+        """Shard holding ``tx_id``'s outputs (ring fallback for genesis
+        transactions that never flowed through this router)."""
+        known = self._tx_home.get(tx_id)
+        if known is not None:
+            return known
+        return self.ring.shard_for(tx_id)
+
+    # -- routing --------------------------------------------------------------
+
+    def home_for(self, payload: dict[str, Any], shard_hint: str | None = None) -> str:
+        """Home shard of one payload (see module docstring for rules)."""
+        if shard_hint is not None:
+            if shard_hint not in self.ring:
+                raise LookupError(f"shard hint {shard_hint!r} is not a ring member")
+            return shard_hint
+        metadata = payload.get("metadata") or {}
+        shard_key = metadata.get(SHARD_KEY_METADATA)
+        if isinstance(shard_key, str) and shard_key:
+            return self.ring.shard_for(shard_key)
+        operation = payload.get("operation", "")
+        references = payload.get("references") or []
+        if operation in _RFQ_ROUTED and references:
+            return self.home_of_tx(references[0])
+        for item in payload.get("inputs") or []:
+            fulfills = item.get("fulfills")
+            if fulfills:
+                return self.home_of_tx(fulfills["transaction_id"])
+        return self.ring.shard_for(payload.get("id", ""))
+
+    def route(self, payload: dict[str, Any], shard_hint: str | None = None) -> RoutingDecision:
+        """Full routing decision: home shard + per-shard input refs."""
+        home = self.home_for(payload, shard_hint)
+        by_shard: dict[str, list[OutputRef]] = {}
+        for item in payload.get("inputs") or []:
+            fulfills = item.get("fulfills")
+            if not fulfills:
+                continue
+            ref = OutputRef(fulfills["transaction_id"], int(fulfills["output_index"]))
+            by_shard.setdefault(self.home_of_tx(ref.transaction_id), []).append(ref)
+        decision = RoutingDecision(
+            tx_id=payload.get("id", ""),
+            operation=payload.get("operation", "?"),
+            home=home,
+            input_shards={shard: tuple(refs) for shard, refs in by_shard.items()},
+        )
+        self.stats["routed"] += 1
+        self.stats["cross_shard" if decision.cross_shard else "single_shard"] += 1
+        return decision

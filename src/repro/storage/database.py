@@ -28,6 +28,10 @@ SMARTCHAINDB_LAYOUT: dict[str, list[tuple[str, bool]]] = {
     "blocks": [("height", True)],
     "utxos": [("transaction_id", False), ("public_keys", False)],
     "accept_tx_recovery": [("accept_id", True), ("rfq_id", False), ("status", False)],
+    # Sharded deployments: 2PC lock table (prepared/committed cross-shard
+    # spends of local UTXOs) and the coordinator's write-ahead outbox.
+    "shard_locks": [("transaction_id", False), ("holder", False), ("status", False)],
+    "shard_outbox": [("tx_id", True), ("state", False)],
 }
 
 

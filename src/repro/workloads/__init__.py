@@ -6,12 +6,15 @@ from repro.workloads.generator import (
     WorkloadGenerator,
     WorkloadItem,
     WorkloadSpec,
+    ZipfSampler,
 )
 from repro.workloads.scenarios import (
     ScenarioResult,
     ScenarioSpec,
+    ShardedScenarioSpec,
     run_eth_scenario,
     run_scdb_scenario,
+    run_sharded_scenario,
 )
 
 __all__ = [
@@ -22,6 +25,9 @@ __all__ = [
     "WorkloadGenerator",
     "WorkloadItem",
     "WorkloadSpec",
+    "ShardedScenarioSpec",
+    "ZipfSampler",
     "run_eth_scenario",
     "run_scdb_scenario",
+    "run_sharded_scenario",
 ]

@@ -12,10 +12,15 @@ payload sizes — the independent variable of Experiment 1.
 
 from __future__ import annotations
 
+import random
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Iterator
+from itertools import accumulate
+from typing import Iterator, Sequence, TypeVar
 
 from repro.sim.rng import SeededRng
+
+T = TypeVar("T")
 
 #: The paper's full mix; benchmarks scale it by a factor.
 PAPER_MIX = {"CREATE": 50_000, "BID": 50_000, "REQUEST": 5_000, "ACCEPT_BID": 5_000}
@@ -47,6 +52,39 @@ CAPABILITY_VOCABULARY = [
 ]
 
 
+class ZipfSampler:
+    """Rank-biased discrete sampler: ``P(rank k) ∝ 1 / k**skew``.
+
+    The classic hot-key model: with ``skew`` around 1, a handful of
+    leading ranks absorb most draws, which is what drives hot-shard
+    imbalance in the sharding benchmark.  ``skew == 0`` degenerates to
+    uniform.  Sampling is O(log n) via the precomputed CDF.
+    """
+
+    def __init__(self, n: int, skew: float, rng: random.Random):
+        if n < 1:
+            raise ValueError(f"need at least one rank, got {n}")
+        if skew < 0:
+            raise ValueError(f"skew must be >= 0, got {skew}")
+        self.n = n
+        self.skew = skew
+        self._rng = rng
+        weights = [1.0 / (rank ** skew) for rank in range(1, n + 1)]
+        self._cdf = list(accumulate(weights))
+
+    def sample(self) -> int:
+        """Draw a 0-based rank (0 is the hottest)."""
+        point = self._rng.random() * self._cdf[-1]
+        return bisect_left(self._cdf, point)
+
+    def choice(self, options: Sequence[T]) -> T:
+        """Draw one of ``options`` with rank-biased popularity (the
+        element order defines the popularity ranking)."""
+        if len(options) != self.n:
+            raise ValueError(f"sampler built for {self.n} ranks, got {len(options)}")
+        return options[self.sample()]
+
+
 @dataclass(frozen=True)
 class WorkloadItem:
     """One transaction intent, not yet built/signed."""
@@ -70,6 +108,10 @@ class WorkloadSpec:
             CREATE transactions").
         n_actors: distinct accounts issuing transactions.
         capabilities_per_item: capability list length for assets/requests.
+        zipf_skew: when > 0, actor activity and capability popularity are
+            Zipf-distributed with this exponent (hot actors / hot
+            capabilities) instead of uniform — the skewed key mix the
+            sharding benchmark uses to provoke hot-shard imbalance.
         seed: determinism.
     """
 
@@ -77,6 +119,7 @@ class WorkloadSpec:
     target_payload_bytes: int = 1_115  # ~1.09 KB, Experiment 2's fixed size
     n_actors: int = 64
     capabilities_per_item: int = 4
+    zipf_skew: float = 0.0
     seed: int = 2024
 
     def mix(self) -> dict[str, int]:
@@ -94,9 +137,30 @@ class WorkloadGenerator:
     def __init__(self, spec: WorkloadSpec | None = None):
         self.spec = spec or WorkloadSpec()
         self._rng = SeededRng(self.spec.seed)
+        self._actor_sampler: ZipfSampler | None = None
+        self._capability_sampler: ZipfSampler | None = None
+        if self.spec.zipf_skew > 0:
+            self._actor_sampler = ZipfSampler(
+                self.spec.n_actors, self.spec.zipf_skew, self._rng.stream("zipf-actor")
+            )
+            self._capability_sampler = ZipfSampler(
+                len(CAPABILITY_VOCABULARY),
+                self.spec.zipf_skew,
+                self._rng.stream("zipf-caps"),
+            )
+
+    def _actor(self) -> int:
+        if self._actor_sampler is not None:
+            return self._actor_sampler.sample()
+        return self._rng.randint("actor", 0, self.spec.n_actors - 1)
 
     def _capabilities(self, stream: str) -> tuple[str, ...]:
         count = self.spec.capabilities_per_item
+        if self._capability_sampler is not None:
+            return tuple(
+                self._capability_sampler.choice(CAPABILITY_VOCABULARY)
+                for _ in range(count)
+            )
         return tuple(
             self._rng.choice(stream, CAPABILITY_VOCABULARY) for _ in range(count)
         )
@@ -137,13 +201,13 @@ class WorkloadGenerator:
                 create_index += 1
                 yield WorkloadItem(
                     operation="CREATE",
-                    actor=self._rng.randint("actor", 0, self.spec.n_actors - 1),
+                    actor=self._actor(),
                     capabilities=self._capabilities("caps-create"),
                     metadata_fill=self._filler(base_overhead),
                 )
             yield WorkloadItem(
                 operation="REQUEST",
-                actor=self._rng.randint("actor", 0, self.spec.n_actors - 1),
+                actor=self._actor(),
                 capabilities=self._capabilities("caps-request")[:2],
                 metadata_fill=self._filler(base_overhead),
                 request_index=request_index,
@@ -154,7 +218,7 @@ class WorkloadGenerator:
                 bid_index += 1
                 yield WorkloadItem(
                     operation="BID",
-                    actor=self._rng.randint("actor", 0, self.spec.n_actors - 1),
+                    actor=self._actor(),
                     capabilities=(),
                     metadata_fill="",
                     request_index=request_index,

@@ -27,6 +27,10 @@ from repro.crypto.keys import KeyPair, keypair_from_string
 from repro.ethereum.chain import QuorumChain, QuorumChainConfig
 from repro.ethereum.client import Web3Client
 from repro.metrics.collector import RunMetrics, collect_metrics
+from repro.sharding.cluster import ShardedCluster, ShardedClusterConfig
+from repro.sharding.router import SHARD_KEY_METADATA
+from repro.sim.rng import SeededRng
+from repro.workloads.generator import ZipfSampler
 
 #: How the per-transaction byte budget is split.
 _CAPABILITY_SHARE = 0.5
@@ -172,6 +176,132 @@ def run_scdb_scenario(spec: ScenarioSpec) -> ScenarioResult:
 
     metrics = collect_metrics("SCDB", cluster.records.values())
     return ScenarioResult(metrics=metrics, detail={"sim_time": cluster.loop.clock.now})
+
+
+@dataclass
+class ShardedScenarioSpec:
+    """The horizontal-scaling workload: asset churn across N shards.
+
+    A population of assets is minted (each lands on its ring shard), then
+    ``transfer_rounds`` waves of ownership transfers churn them.  The two
+    knobs the sharding evaluation sweeps:
+
+    * ``cross_shard_ratio`` — fraction of transfers that *migrate* the
+      asset to another shard (forcing the 2PC path) instead of staying
+      on its home shard;
+    * ``zipf_skew`` — Zipfian hot-asset popularity: transfer traffic
+      concentrates on the leading ranks, so the shards owning them
+      become hot while others idle (the imbalance case).
+    """
+
+    n_shards: int = 2
+    n_validators: int = 4
+    n_assets: int = 96
+    transfer_rounds: int = 2
+    cross_shard_ratio: float = 0.0
+    zipf_skew: float = 0.0
+    n_owners: int = 16
+    max_block_txs: int = 8
+    seed: int = 2024
+
+
+def run_sharded_scenario(spec: ShardedScenarioSpec) -> ScenarioResult:
+    """Drive a :class:`~repro.sharding.cluster.ShardedCluster` through the
+    asset-churn workload; metrics aggregate over every shard."""
+    cluster = ShardedCluster(
+        ShardedClusterConfig(
+            n_shards=spec.n_shards,
+            n_validators=spec.n_validators,
+            seed=spec.seed,
+            max_block_txs=spec.max_block_txs,
+        )
+    )
+    driver = cluster.driver
+    rng = SeededRng(spec.seed)
+    owners = [keypair_from_string(f"sh-owner-{index}") for index in range(spec.n_owners)]
+    sampler = (
+        ZipfSampler(spec.n_assets, spec.zipf_skew, rng.stream("hot-assets"))
+        if spec.zipf_skew > 0
+        else None
+    )
+
+    # Mint the asset population (each CREATE is single-shard by birth).
+    holdings: list[tuple[KeyPair, str, str, int]] = []  # (owner, asset, tx, index)
+    for index in range(spec.n_assets):
+        owner = owners[index % len(owners)]
+        create_tx = driver.prepare_create(owner, {"capabilities": ["churn"], "rank": index})
+        cluster.submit_payload(create_tx.to_dict())
+        holdings.append((owner, create_tx.tx_id, create_tx.tx_id, 0))
+    cluster.run()
+
+    def migration_key(asset_index: int, round_index: int, current_home: str) -> str:
+        """A shard_key landing on a different shard than ``current_home``."""
+        away = [shard for shard in cluster.shard_ids if shard != current_home]
+        target = away[(asset_index + round_index) % len(away)]
+        return cluster.ring.key_landing_on(
+            target, prefix=f"migrate-{asset_index}-{round_index}"
+        )
+
+    cross_submitted = 0
+    transfer_homes: dict[str, int] = {}
+    for round_index in range(spec.transfer_rounds):
+        if sampler is None:
+            selected = list(range(spec.n_assets))
+        else:
+            # Zipf traffic: hot ranks dominate; dedupe keeps one transfer
+            # per asset per round (a UTXO spends once per commit wave).
+            selected = sorted({sampler.sample() for _ in range(spec.n_assets)})
+        submitted: dict[int, tuple] = {}
+        for asset_index in selected:
+            owner, asset_id, tx_id, output_index = holdings[asset_index]
+            recipient = owners[(asset_index + round_index + 1) % len(owners)]
+            metadata = None
+            if spec.n_shards > 1 and rng.uniform("cross", 0.0, 1.0) < spec.cross_shard_ratio:
+                current_home = cluster.router.home_of_tx(tx_id)
+                metadata = {
+                    SHARD_KEY_METADATA: migration_key(asset_index, round_index, current_home)
+                }
+                cross_submitted += 1
+            transfer_tx = driver.prepare_transfer(
+                owner,
+                [(tx_id, output_index, 1)],
+                asset_id,
+                [(recipient.public_key, 1)],
+                metadata=metadata,
+            )
+            cluster.submit_payload(transfer_tx.to_dict())
+            home = cluster.router.home_of_tx(transfer_tx.tx_id)
+            transfer_homes[home] = transfer_homes.get(home, 0) + 1
+            submitted[asset_index] = (recipient, asset_id, transfer_tx.tx_id, 0)
+        cluster.run()
+        for asset_index, holding in submitted.items():
+            record = cluster.record_for(holding[2])
+            if record is not None and record.committed_at is not None:
+                holdings[asset_index] = holding
+
+    metrics = collect_metrics("SCDB-SHARDED", cluster.records.values())
+    per_shard = {
+        shard_id: sum(
+            1 for record in shard.records.values() if record.committed_at is not None
+        )
+        for shard_id, shard in cluster.shards.items()
+    }
+    # Hot-shard share over *transfer* traffic (the swept variable); the
+    # uniformly-placed CREATE phase would only dilute the signal.
+    total_transfers = sum(transfer_homes.values())
+    hot_share = (
+        max(transfer_homes.values()) / total_transfers
+        if total_transfers
+        else 1.0 / spec.n_shards
+    )
+    detail: dict[str, float] = {
+        "sim_time": cluster.loop.clock.now,
+        "cross_submitted": float(cross_submitted),
+        "hot_shard_share": hot_share,
+    }
+    for shard_id, committed in sorted(per_shard.items()):
+        detail[f"committed_{shard_id}"] = float(committed)
+    return ScenarioResult(metrics=metrics, detail=detail)
 
 
 def run_eth_scenario(spec: ScenarioSpec) -> ScenarioResult:

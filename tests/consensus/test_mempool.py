@@ -77,6 +77,50 @@ class TestReaping:
         assert not pool.add(env("a"))  # committed elsewhere: stays out
 
 
+class TestSeenWindow:
+    """The reaped-id dedup memory is bounded (regression: it grew forever)."""
+
+    def test_seen_memory_is_bounded(self):
+        pool = Mempool(capacity=1000, seen_capacity=100)
+        for index in range(500):
+            pool.add(env(f"tx-{index}"))
+            pool.reap()
+        assert pool.seen_size() == 100
+
+    def test_recent_committed_ids_stay_excluded(self):
+        pool = Mempool(capacity=1000, seen_capacity=100)
+        for index in range(500):
+            pool.add(env(f"tx-{index}"))
+            pool.reap()
+        # Everything inside the window still cannot re-enter...
+        for index in range(400, 500):
+            assert not pool.add(env(f"tx-{index}"))
+        # ...while ids evicted from the window may (consensus keeps its
+        # own committed-id set to stop them further up the stack).
+        assert pool.add(env("tx-0"))
+
+    def test_remove_feeds_the_window(self):
+        pool = Mempool(seen_capacity=10)
+        pool.add(env("a"))
+        pool.remove(["a"])
+        assert pool.seen_size() == 1
+        assert not pool.add(env("a"))
+
+    def test_pending_ids_do_not_consume_window_space(self):
+        pool = Mempool(seen_capacity=5)
+        for name in "abcdefgh":
+            pool.add(env(name))
+        assert pool.seen_size() == 0
+        assert len(pool) == 8
+
+    def test_default_window_scales_with_capacity(self):
+        assert Mempool(capacity=50).seen_capacity == 200
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            Mempool(seen_capacity=0)
+
+
 class TestCrashSemantics:
     def test_flush_volatile_loses_pending(self):
         pool = Mempool()

@@ -1,0 +1,102 @@
+"""Consistent-hash ring properties: balance, determinism, minimal movement."""
+
+import pytest
+
+from repro.sharding.ring import ConsistentHashRing
+from repro.sim.rng import SeededRng
+
+
+def _keys(n: int, seed: int = 11) -> list[str]:
+    rng = SeededRng(seed).stream("ring-keys")
+    return [f"key-{rng.getrandbits(64):016x}" for _ in range(n)]
+
+
+class TestMembership:
+    def test_empty_ring_rejects_lookup(self):
+        with pytest.raises(LookupError):
+            ConsistentHashRing().shard_for("anything")
+
+    def test_add_is_idempotent(self):
+        ring = ConsistentHashRing(["a", "b"])
+        ring.add_shard("a")
+        assert ring.shards == ["a", "b"]
+
+    def test_remove_unknown_raises(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(KeyError):
+            ring.remove_shard("zzz")
+
+    def test_single_shard_owns_everything(self):
+        ring = ConsistentHashRing(["solo"])
+        assert all(ring.shard_for(key) == "solo" for key in _keys(100))
+
+
+class TestDeterminism:
+    def test_same_membership_same_mapping(self):
+        keys = _keys(2_000)
+        first = ConsistentHashRing(["s0", "s1", "s2", "s3"]).assignment(keys)
+        # Insertion order must not matter.
+        second = ConsistentHashRing(["s3", "s1", "s0", "s2"]).assignment(keys)
+        assert first == second
+
+    def test_repeated_lookup_stable(self):
+        ring = ConsistentHashRing([f"s{index}" for index in range(5)])
+        for key in _keys(50):
+            assert ring.shard_for(key) == ring.shard_for(key)
+
+
+class TestBalance:
+    @pytest.mark.parametrize("n_shards", [2, 4, 8])
+    def test_virtual_nodes_spread_load(self, n_shards):
+        """Every shard's share stays within 2x of perfectly uniform —
+        the tolerance 64 virtual nodes comfortably achieves."""
+        ring = ConsistentHashRing([f"s{index}" for index in range(n_shards)])
+        spread = ring.spread(_keys(20_000))
+        expected = 20_000 / n_shards
+        for shard, count in spread.items():
+            assert 0.5 * expected <= count <= 2.0 * expected, (shard, dict(spread))
+
+    def test_more_vnodes_tightens_spread(self):
+        keys = _keys(20_000)
+        shards = [f"s{index}" for index in range(4)]
+
+        def imbalance(vnodes: int) -> float:
+            spread = ConsistentHashRing(shards, virtual_nodes=vnodes).spread(keys)
+            return max(spread.values()) / min(spread.values())
+
+        assert imbalance(128) <= imbalance(1)
+
+
+class TestMinimalMovement:
+    def test_adding_a_shard_only_moves_keys_to_it(self):
+        keys = _keys(10_000)
+        ring = ConsistentHashRing(["s0", "s1", "s2"])
+        before = ring.assignment(keys)
+        ring.add_shard("s3")
+        after = ring.assignment(keys)
+        moved = [key for key in keys if before[key] != after[key]]
+        # Every displaced key lands on the new shard, never reshuffles
+        # between the survivors.
+        assert all(after[key] == "s3" for key in moved)
+        # And roughly 1/4 of the keyspace moves (within loose bounds).
+        assert 0.10 <= len(moved) / len(keys) <= 0.45
+
+    def test_removing_a_shard_only_moves_its_keys(self):
+        keys = _keys(10_000)
+        ring = ConsistentHashRing(["s0", "s1", "s2", "s3"])
+        before = ring.assignment(keys)
+        ring.remove_shard("s2")
+        after = ring.assignment(keys)
+        for key in keys:
+            if before[key] != "s2":
+                assert after[key] == before[key]
+            else:
+                assert after[key] != "s2"
+
+    def test_add_then_remove_roundtrips(self):
+        keys = _keys(5_000)
+        ring = ConsistentHashRing(["s0", "s1", "s2"])
+        before = ring.assignment(keys)
+        ring.add_shard("s3")
+        ring.remove_shard("s3")
+        assert ring.assignment(keys) == before

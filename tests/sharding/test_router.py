@@ -1,0 +1,133 @@
+"""Routing rules: home-shard selection and single- vs cross-shard classing."""
+
+import pytest
+
+from repro.core import builders
+from repro.crypto.keys import keypair_from_string
+from repro.sharding.ring import ConsistentHashRing
+from repro.sharding.router import SHARD_KEY_METADATA, ShardRouter
+
+
+@pytest.fixture()
+def router() -> ShardRouter:
+    return ShardRouter(ConsistentHashRing(["s0", "s1", "s2", "s3"]))
+
+
+@pytest.fixture()
+def alice():
+    return keypair_from_string("alice")
+
+
+@pytest.fixture()
+def bob():
+    return keypair_from_string("bob")
+
+
+def _create(alice) -> dict:
+    return builders.build_create(alice, {"capabilities": ["cnc"]}).sign([alice]).to_dict()
+
+
+class TestHomeSelection:
+    def test_genesis_routes_by_own_id(self, router, alice):
+        payload = _create(alice)
+        decision = router.route(payload)
+        assert decision.home == router.ring.shard_for(payload["id"])
+        assert not decision.cross_shard
+        assert decision.input_shards == {}
+
+    def test_transfer_follows_its_input(self, router, alice, bob):
+        create = _create(alice)
+        router.record_home(create["id"], "s2")
+        transfer = (
+            builders.build_transfer(
+                alice, [(create["id"], 0, 1)], create["id"], [(bob.public_key, 1)]
+            )
+            .sign([alice])
+            .to_dict()
+        )
+        decision = router.route(transfer)
+        assert decision.home == "s2"
+        assert not decision.cross_shard
+
+    def test_shard_key_metadata_overrides(self, router, alice, bob):
+        create = _create(alice)
+        router.record_home(create["id"], "s0")
+        key = next(k for k in (f"k{i}" for i in range(200)) if router.ring.shard_for(k) == "s3")
+        transfer = (
+            builders.build_transfer(
+                alice,
+                [(create["id"], 0, 1)],
+                create["id"],
+                [(bob.public_key, 1)],
+                metadata={SHARD_KEY_METADATA: key},
+            )
+            .sign([alice])
+            .to_dict()
+        )
+        decision = router.route(transfer)
+        assert decision.home == "s3"
+        assert decision.cross_shard
+        assert decision.remote_shards == ["s0"]
+        refs = decision.input_shards["s0"]
+        assert [(ref.transaction_id, ref.output_index) for ref in refs] == [(create["id"], 0)]
+
+    def test_submit_time_hint_beats_metadata(self, router, alice):
+        payload = _create(alice)
+        assert router.route(payload, shard_hint="s1").home == "s1"
+
+    def test_unknown_hint_rejected(self, router, alice):
+        with pytest.raises(LookupError):
+            router.route(_create(alice), shard_hint="nope")
+
+
+class TestMarketplaceRouting:
+    def test_bid_and_accept_follow_the_rfq(self, router, alice, bob):
+        request = builders.build_request(alice, ["cnc"]).sign([alice]).to_dict()
+        router.record_home(request["id"], "s1")
+        create = _create(bob)
+        router.record_home(create["id"], "s0")
+        escrow = keypair_from_string("smartchaindb-escrow")
+        bid = (
+            builders.build_bid(
+                bob, request["id"], create["id"], [(create["id"], 0, 1)], escrow.public_key
+            )
+            .sign([bob])
+            .to_dict()
+        )
+        decision = router.route(bid)
+        # The whole auction clusters on the RFQ's shard; the bid asset
+        # escrow is the cross-shard spend.
+        assert decision.home == "s1"
+        assert decision.cross_shard
+        assert decision.remote_shards == ["s0"]
+
+    def test_routing_memory_follows_migration(self, router):
+        # An asset that migrated keeps routing to where it lives now.
+        router.record_home("tx-old", "s0")
+        assert router.home_of_tx("tx-old") == "s0"
+        router.record_home("tx-old", "s2")
+        assert router.home_of_tx("tx-old") == "s2"
+
+    def test_unknown_tx_falls_back_to_ring(self, router):
+        assert router.home_of_tx("never-seen") == router.ring.shard_for("never-seen")
+
+
+class TestStats:
+    def test_classification_counters(self, router, alice, bob):
+        create = _create(alice)
+        router.route(create)
+        router.record_home(create["id"], "s0")
+        key = next(k for k in (f"k{i}" for i in range(200)) if router.ring.shard_for(k) == "s1")
+        transfer = (
+            builders.build_transfer(
+                alice,
+                [(create["id"], 0, 1)],
+                create["id"],
+                [(bob.public_key, 1)],
+                metadata={SHARD_KEY_METADATA: key},
+            )
+            .sign([alice])
+            .to_dict()
+        )
+        router.route(transfer)
+        assert router.stats == {"routed": 2, "single_shard": 1, "cross_shard": 1}

@@ -1,6 +1,17 @@
 """Workload generator: the paper's 110k mix, scaled."""
 
-from repro.workloads.generator import PAPER_MIX, WorkloadGenerator, WorkloadSpec
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workloads.generator import (
+    CAPABILITY_VOCABULARY,
+    PAPER_MIX,
+    WorkloadGenerator,
+    WorkloadSpec,
+    ZipfSampler,
+)
 
 
 class TestMix:
@@ -64,3 +75,51 @@ class TestStructure:
         generator = WorkloadGenerator(WorkloadSpec(total=220, n_actors=8))
         actors = {item.actor for item in generator.items()}
         assert actors <= set(range(8))
+
+
+class TestZipfHotKeys:
+    def test_sampler_validates_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0, random.Random(1))
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -0.5, random.Random(1))
+
+    def test_zero_skew_is_roughly_uniform(self):
+        sampler = ZipfSampler(10, 0.0, random.Random(42))
+        counts = Counter(sampler.sample() for _ in range(10_000))
+        assert min(counts.values()) > 700  # ~1000 expected per rank
+
+    def test_high_skew_concentrates_on_leading_ranks(self):
+        sampler = ZipfSampler(100, 1.2, random.Random(42))
+        counts = Counter(sampler.sample() for _ in range(10_000))
+        top_share = sum(counts[rank] for rank in range(5)) / 10_000
+        assert top_share > 0.4
+        assert counts.most_common(1)[0][0] == 0  # rank 0 is the hottest
+
+    def test_skewed_workload_concentrates_actors(self):
+        uniform = WorkloadGenerator(WorkloadSpec(total=440, n_actors=32, seed=5))
+        skewed = WorkloadGenerator(
+            WorkloadSpec(total=440, n_actors=32, zipf_skew=1.2, seed=5)
+        )
+
+        def hot_share(generator: WorkloadGenerator) -> float:
+            counts = Counter(item.actor for item in generator.items())
+            return counts.most_common(1)[0][1] / sum(counts.values())
+
+        assert hot_share(skewed) > hot_share(uniform)
+
+    def test_skewed_capability_popularity(self):
+        skewed = WorkloadGenerator(
+            WorkloadSpec(total=440, zipf_skew=1.5, seed=5)
+        )
+        counts: Counter = Counter()
+        for item in skewed.items():
+            counts.update(item.capabilities)
+        hottest = counts.most_common(1)[0][0]
+        # The vocabulary's leading entries are the popularity ranking.
+        assert hottest in CAPABILITY_VOCABULARY[:3]
+
+    def test_skewed_generation_is_deterministic(self):
+        left = list(WorkloadGenerator(WorkloadSpec(total=110, zipf_skew=1.0, seed=3)).items())
+        right = list(WorkloadGenerator(WorkloadSpec(total=110, zipf_skew=1.0, seed=3)).items())
+        assert left == right
