@@ -7,6 +7,7 @@ Usage::
     python -m repro compare [--size N]   # SCDB vs ETH-SC at one payload size
     python -m repro workload [--total N] # show the scaled paper mix
     python -m repro shard [--shards N]   # sharded cluster + cross-shard 2PC demo
+    python -m repro simtest --seed 7 --steps 500   # deterministic chaos run
 """
 
 from __future__ import annotations
@@ -27,7 +28,8 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print("consensus (Tendermint/IBFT), crypto (Ed25519), ethereum (ETH-SC")
     print("baseline), sim (discrete events), workloads, metrics, analytics,")
     print("sharding (consistent-hash partitioning + cross-shard 2PC —")
-    print("try `python -m repro shard`)")
+    print("try `python -m repro shard`), simtest (deterministic chaos")
+    print("harness — try `python -m repro simtest --seed 7 --steps 200`)")
     print("\nsee DESIGN.md for the full inventory, EXPERIMENTS.md for results")
     return 0
 
@@ -173,6 +175,65 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simtest(args: argparse.Namespace) -> int:
+    from repro.simtest import SimHarness, SimtestConfig
+
+    config = SimtestConfig(
+        seed=args.seed,
+        steps=args.steps,
+        single=args.single,
+        n_shards=args.shards,
+        n_validators=args.validators,
+        fault_rate=args.fault_rate,
+    )
+    shape = "single cluster" if config.single else f"{config.n_shards} shards"
+    print(
+        f"simtest seed={config.seed} steps={config.steps} {shape} "
+        f"({config.n_validators} validators each) fault_rate={config.fault_rate}"
+    )
+    harness = SimHarness(config)
+    schedule_path = f"{args.out_prefix}_schedule.json"
+    log_path = f"{args.out_prefix}_invariants.log"
+    # The fault plan exists before the run does — persist it up front so
+    # a hung or crashed run (the case CI's per-seed timeout kills) still
+    # leaves its schedule on disk for replay.
+    with open(schedule_path, "w") as handle:
+        handle.write(harness.schedule.to_json() + "\n")
+    report = harness.run()
+
+    with open(log_path, "w") as handle:
+        for line in report.step_log:
+            handle.write(line + "\n")
+        for line in report.invariant_log:
+            handle.write(line + "\n")
+
+    stats = report.stats["workload"]
+    print(
+        f"ran {report.steps_run} steps, {len(report.schedule.actions)} scheduled faults, "
+        f"sim_time={report.stats['sim_time']:.3f}s, {report.stats['events']} events"
+    )
+    print(
+        f"workload: submitted={stats['submitted']} committed={stats['committed']} "
+        f"rejected={stats['rejected']} conflicts={stats['conflicts']} cross={stats['cross']}"
+    )
+    print(
+        f"invariants: {report.stats['invariants_registered']} registered; "
+        f"logs: {schedule_path}, {log_path}"
+    )
+    if report.violations:
+        bundle_path = f"{args.out_prefix}_repro.json"
+        with open(bundle_path, "w") as handle:
+            handle.write(report.bundle.to_json() + "\n")
+        first = report.violations[0]
+        print(
+            f"FAILED: invariant {first.invariant} at step {first.step}: {first.detail}"
+        )
+        print(f"repro bundle: {bundle_path} (replay with the same --seed)")
+        return 1
+    print("all invariants held (per-step and at quiesce)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SmartchainDB reproduction toolkit"
@@ -198,6 +259,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     shard.add_argument("--shards", type=int, default=2)
     shard.set_defaults(func=_cmd_shard)
+
+    simtest = subparsers.add_parser(
+        "simtest",
+        help="deterministic chaos run: seeded fault schedule + invariant checks",
+    )
+    simtest.add_argument("--seed", type=int, default=2024)
+    simtest.add_argument("--steps", type=int, default=200)
+    simtest.add_argument("--shards", type=int, default=3)
+    simtest.add_argument("--validators", type=int, default=4)
+    simtest.add_argument("--fault-rate", type=float, default=0.12)
+    simtest.add_argument(
+        "--single", action="store_true", help="drive one unsharded cluster instead"
+    )
+    simtest.add_argument(
+        "--out-prefix", default="SIMTEST", help="prefix for schedule/log/repro files"
+    )
+    simtest.set_defaults(func=_cmd_simtest)
 
     return parser
 

@@ -361,6 +361,12 @@ class Validator:
         if self.engine.network.is_crashed(self.node_id):
             return
         if self.height != height or self.round != round_number:
+            # Stale timer from before a catch-up/commit.  While it was
+            # armed it blocked fresh arming, so it must hand the liveness
+            # chain back to the current height — otherwise a node that
+            # caught up with a non-empty mempool starves its pending
+            # transactions forever (found by the chaos harness).
+            self._schedule_round_timeout()
             return
         if not self._has_pending_work():
             return

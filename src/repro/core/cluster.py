@@ -9,6 +9,7 @@ latency/throughput records the evaluation section measures.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -109,11 +110,24 @@ class SmartchainCluster:
             self.failures.register_callbacks(
                 node_id,
                 on_crash=validator.on_crash,
-                on_recover=lambda nid=node_id: self._on_node_recover(nid),
+                on_recover=lambda nid=node_id: self.resync_node(nid),
             )
 
         self.driver = Driver(self)
         self.records: dict[str, TxRecord] = {}
+        #: Outputs consumed by cross-shard commits (see consume_outputs):
+        #: kept so a node applying the *creating* block late — it was
+        #: crashed or partitioned when the 2PC decision landed — does not
+        #: resurrect an already-spent UTXO.  Found by the chaos harness.
+        #: Bounded FIFO window (like the mempool's dedup memory): a
+        #: laggard only needs the entry until it next catches up, which
+        #: is far sooner than the window takes to cycle.
+        self._foreign_spent: "OrderedDict[tuple[str, int], None]" = OrderedDict()
+        self._foreign_spent_capacity = 100_000
+        for server in self.servers.values():
+            server.commit_hooks.append(
+                lambda payload, srv=server: self._scrub_foreign_spent(srv, payload)
+            )
         self._callbacks: dict[str, DriverCallback] = {}
         #: accept_id -> receiver node responsible for its RETURN children.
         self._accept_receivers: dict[str, str] = {}
@@ -243,8 +257,13 @@ class SmartchainCluster:
         # Keep draining until the queue is empty.
         self.loop.schedule_in(self.config.worker_poll_interval, lambda: self._drain_one_return(node_id))
 
-    def _on_node_recover(self, node_id: str) -> None:
-        """Recovery: re-enqueue pending RETURNs from the durable log."""
+    def resync_node(self, node_id: str) -> None:
+        """Bring one node back in step with the cluster: catch up missed
+        blocks from a live peer and re-enqueue pending RETURNs from the
+        durable log.  The crash-recovery path runs this, and it is safe
+        on a node that never crashed — a healed partition leaves the
+        minority side lagging exactly like a short outage does, so the
+        chaos harness calls it after every heal."""
         self.engine.validator(node_id).on_recover()
         server = self.servers[node_id]
         reenqueued = server.nested.recover(server.context.locked_bids)
@@ -313,11 +332,30 @@ class SmartchainCluster:
 
         The authoritative double-spend barrier is the coordinator's lock
         tombstone; this keeps every node's wallet view (``utxos``) in
-        step with it.
+        step with it.  Consumed refs are remembered so nodes that apply
+        the creating block *after* the decision (crash/partition lag)
+        scrub the output on arrival instead of resurrecting it.
         """
+        for transaction_id, output_index in refs:
+            self._foreign_spent[(transaction_id, output_index)] = None
+            self._foreign_spent.move_to_end((transaction_id, output_index))
+        while len(self._foreign_spent) > self._foreign_spent_capacity:
+            self._foreign_spent.popitem(last=False)
         for server in self.servers.values():
             utxos = server.database.collection("utxos")
             for transaction_id, output_index in refs:
                 utxos.delete_many(
                     {"transaction_id": transaction_id, "output_index": output_index}
+                )
+
+    def _scrub_foreign_spent(self, server: SmartchainServer, payload: dict[str, Any]) -> None:
+        """Post-commit hook: drop outputs a cross-shard commit already
+        spent before this node got around to applying their creator."""
+        if not self._foreign_spent:
+            return
+        tx_id = payload.get("id")
+        for index in range(len(payload.get("outputs", []))):
+            if (tx_id, index) in self._foreign_spent:
+                server.database.collection("utxos").delete_many(
+                    {"transaction_id": tx_id, "output_index": index}
                 )

@@ -67,6 +67,14 @@ COORDINATOR_NODE = "coordinator"
 #: (tx_id, "committed" | "aborted", reason_or_None).
 OutcomeCallback = Callable[[str, str, "str | None"], None]
 
+#: Phase listener: (shard_id, phase, tx_id).  Phases a listener observes,
+#: in protocol order on the coordinator side — ``begin``,
+#: ``commit_pending``, ``decided:committed`` / ``decided:aborted``,
+#: ``done`` — and on the participant side — ``prepared``,
+#: ``vote_refused``, ``decision_applied``, ``inquiry``.  The chaos
+#: harness uses these to crash an agent at an exact protocol phase.
+PhaseListener = Callable[[str, str, str], None]
+
 
 @dataclass
 class CoordinatorConfig:
@@ -125,6 +133,10 @@ class TwoPhaseCoordinator:
         self._acks: dict[str, set[str]] = {}
         self._timers: dict[tuple[str, str], Any] = {}
         self._epoch = 0
+        #: Observers of protocol-phase transitions (see PhaseListener).
+        #: Listeners must not mutate the agent synchronously; schedule
+        #: faults through the event loop instead.
+        self.phase_listeners: list[PhaseListener] = []
         self.stats = {
             "coordinated": 0,
             "committed": 0,
@@ -149,6 +161,10 @@ class TwoPhaseCoordinator:
     @property
     def _locks(self):
         return self.durable.collection("shard_locks")
+
+    def _notify(self, phase: str, tx_id: str) -> None:
+        for listener in self.phase_listeners:
+            listener(self.shard_id, phase, tx_id)
 
     def _send(self, target_shard: str, method: str, *args: Any) -> None:
         """Deliver ``method(*args)`` on the target agent after the
@@ -232,6 +248,7 @@ class TwoPhaseCoordinator:
             }
         )
         self.stats["coordinated"] += 1
+        self._notify("begin", tx_id)
         self._votes[tx_id] = {}
         self._vote_payloads[tx_id] = []
         for shard, refs in participants.items():
@@ -268,6 +285,7 @@ class TwoPhaseCoordinator:
             self._outbox.update_many(
                 {"tx_id": tx_id}, {"$set": {"state": "commit_pending"}}
             )
+            self._notify("commit_pending", tx_id)
             self._submit_home(tx_id, doc["payload"])
 
     def _submit_home(self, tx_id: str, payload: dict[str, Any]) -> None:
@@ -305,6 +323,7 @@ class TwoPhaseCoordinator:
         self._vote_payloads.pop(tx_id, None)
         self._acks.setdefault(tx_id, set())
         self.stats["committed" if outcome == "committed" else "aborted"] += 1
+        self._notify(f"decided:{outcome}", tx_id)
         # Committed outcomes hand the payload to the facade callback so a
         # driver client sees the same ("committed", payload) contract a
         # single cluster gives it.
@@ -322,6 +341,7 @@ class TwoPhaseCoordinator:
         if not pending:
             self._outbox.update_many({"tx_id": tx_id}, {"$set": {"state": "done"}})
             self._disarm("retry", tx_id)
+            self._notify("done", tx_id)
             return
         for shard in pending:
             self._send(shard, "handle_decision", self.shard_id, tx_id, outcome)
@@ -344,10 +364,12 @@ class TwoPhaseCoordinator:
         ):
             self._outbox.update_many({"tx_id": tx_id}, {"$set": {"state": "done"}})
             self._disarm("retry", tx_id)
+            self._notify("done", tx_id)
 
     def handle_inquiry(self, participant_shard: str, tx_id: str) -> None:
         """Participant termination protocol: answer with any final outcome."""
         self.stats["inquiries"] += 1
+        self._notify("inquiry", tx_id)
         doc = self._outbox.find_one({"tx_id": tx_id}, copy=False)
         if doc is None:
             # No durable intent: this coordinator never began (or the
@@ -399,6 +421,7 @@ class TwoPhaseCoordinator:
                 payloads.append(deep_copy_json(prior))
         if reason is not None:
             self.stats["locks_refused"] += 1
+            self._notify("vote_refused", tx_id)
             self._send(coordinator_shard, "handle_vote", tx_id, self.shard_id, False, reason)
             return
         now = self._loop.clock.now
@@ -414,6 +437,7 @@ class TwoPhaseCoordinator:
                 }
             )
         self.stats["locks_granted"] += len(resolved)
+        self._notify("prepared", tx_id)
         self._arm(
             "lock", tx_id, self.config.lock_timeout,
             lambda: self._inquire(tx_id, coordinator_shard, 0),
@@ -436,6 +460,7 @@ class TwoPhaseCoordinator:
         else:
             self._locks.delete_many({"holder": tx_id, "status": "prepared"})
         self._disarm("lock", tx_id)
+        self._notify("decision_applied", tx_id)
         self._send(coordinator_shard, "handle_ack", tx_id, self.shard_id)
 
     def _inquire(self, tx_id: str, coordinator_shard: str, attempt: int) -> None:
@@ -466,16 +491,31 @@ class TwoPhaseCoordinator:
         self._timers.clear()
 
     def on_recover(self) -> None:
-        """Resume every unfinished protocol instance from durable state."""
+        """Crash recovery: flip the liveness flag and resume from durable
+        state."""
         self.crashed = False
         self._epoch += 1
+        self.resume()
+
+    def resume(self) -> None:
+        """Drive every unfinished protocol instance from durable state.
+
+        Safe to call on a live agent: decided states re-broadcast,
+        prepared locks re-inquire, terminal ones are left alone, and a
+        still-``preparing`` record is presumed-aborted — a safety-
+        preserving choice, so only call this once in-flight votes have
+        drained (recovery after a crash, or a quiesce after the loop
+        idles).  Operators — and the chaos harness's quiesce step — use
+        it directly when parked state must make progress without a
+        crash, e.g. after a long partition exhausted the bounded retries.
+        """
         # Coordinator side: drive each outbox record to completion.
         for doc in self._outbox.find({}):
             tx_id, state = doc["tx_id"], doc["state"]
             if state == "preparing":
                 # No home submit happened yet — presumed abort releases
                 # any remote locks granted before the crash.
-                self._decide(tx_id, "aborted", "coordinator crashed during prepare")
+                self._decide(tx_id, "aborted", "presumed abort: prepare unresolved at resume")
             elif state == "commit_pending":
                 self._resolve_commit_pending(tx_id, doc)
             elif state in ("committed", "aborted"):

@@ -15,6 +15,13 @@ from typing import Callable
 from repro.sim.events import EventLoop
 from repro.sim.network import Network
 
+#: Event-loop priority of crash/recovery events.  Failures sort *before*
+#: message deliveries scheduled for the same simulated instant, so the
+#: outcome of a tick never depends on whether the fault schedule was
+#: installed before or after the message was sent — the stable tie-break
+#: deterministic replay relies on.
+FAILURE_PRIORITY = -1
+
 
 @dataclass(frozen=True)
 class CrashEvent:
@@ -56,12 +63,18 @@ class FailureInjector:
     def schedule(self, events: list[CrashEvent]) -> None:
         """Script a set of crash/recovery events onto the loop."""
         for event in events:
-            self._loop.schedule_at(event.crash_at, lambda nid=event.node_id: self._crash(nid))
+            self._loop.schedule_at(
+                event.crash_at,
+                lambda nid=event.node_id: self._crash(nid),
+                priority=FAILURE_PRIORITY,
+            )
             if event.recover_at is not None:
                 if event.recover_at <= event.crash_at:
                     raise ValueError("recovery must happen after the crash")
                 self._loop.schedule_at(
-                    event.recover_at, lambda nid=event.node_id: self._recover(nid)
+                    event.recover_at,
+                    lambda nid=event.node_id: self._recover(nid),
+                    priority=FAILURE_PRIORITY,
                 )
 
     def crash_now(self, node_id: str) -> None:

@@ -60,6 +60,10 @@ class Network:
         self._handlers: dict[str, Callable[[Message], None]] = {}
         self._crashed: set[str] = set()
         self._partitions: list[set[str]] = []
+        #: Chaos knob: upper bound of an extra per-message uniform delay.
+        #: While non-zero, messages on one link can overtake each other
+        #: (delivery reordering) — the fault the chaos harness injects.
+        self.chaos_extra_delay = 0.0
         self.stats = {"sent": 0, "delivered": 0, "dropped": 0, "bytes": 0}
 
     # -- membership -----------------------------------------------------------
@@ -92,6 +96,16 @@ class Network:
         """Remove all partitions."""
         self._partitions = []
 
+    def set_chaos(self, extra_delay: float) -> None:
+        """Set (or clear, with ``0.0``) the extra-delay chaos window.
+
+        Raises:
+            ValueError: on negative delays.
+        """
+        if extra_delay < 0:
+            raise ValueError(f"chaos delay must be >= 0, got {extra_delay}")
+        self.chaos_extra_delay = extra_delay
+
     def _can_communicate(self, sender: str, recipient: str) -> bool:
         if sender in self._crashed or recipient in self._crashed:
             return False
@@ -108,7 +122,13 @@ class Network:
         """Deterministic-jitter delay for a message of ``size_bytes``."""
         jitter = self._rng.uniform(f"net:{link}", 0.0, self.config.jitter)
         serialisation = size_bytes / self.config.bandwidth_bytes_per_sec
-        return self.config.base_latency + jitter + serialisation
+        chaos = 0.0
+        if self.chaos_extra_delay > 0:
+            # Drawn per message on a dedicated stream so enabling chaos
+            # perturbs delivery order without shifting the base-jitter
+            # sequence other subsystems consume.
+            chaos = self._rng.uniform(f"net-chaos:{link}", 0.0, self.chaos_extra_delay)
+        return self.config.base_latency + jitter + serialisation + chaos
 
     def send(self, sender: str, recipient: str, kind: str, payload: Any, size_bytes: int = 256) -> None:
         """Send one message; delivery is scheduled on the event loop."""

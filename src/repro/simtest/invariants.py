@@ -1,0 +1,433 @@
+"""Global invariants over a (possibly sharded) deployment.
+
+Each invariant is a pure read of durable cluster state — node databases,
+chains, 2PC lock/outbox tables, facade records — returning a list of
+violation strings.  Per-``step`` invariants hold in *every* reachable
+state, including mid-crash and mid-partition; ``quiesce`` invariants
+hold only once everything is healed and the loop has drained (no stuck
+locks, every submission settled).
+
+The registry is the Jepsen-style half of the harness: schedules make
+histories, these make verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.simtest.plane import FaultPlane
+
+#: An invariant body: plane -> violation strings (empty = holds).
+InvariantFn = Callable[[FaultPlane], "list[str]"]
+
+
+@dataclass
+class Invariant:
+    """One registered property.
+
+    Attributes:
+        name: stable identifier (appears in logs and repro bundles).
+        fn: the check body.
+        scope: ``"step"`` (checked during the run) or ``"quiesce"``
+            (checked only after repair + drain).
+        sharded_only: skip on single-cluster deployments.
+        every: check cadence in steps (1 = every step) — for checks that
+            replay whole chains and would dominate the step budget.
+    """
+
+    name: str
+    fn: InvariantFn
+    scope: str = "step"
+    sharded_only: bool = False
+    every: int = 1
+
+
+@dataclass
+class Violation:
+    """One observed invariant breach."""
+
+    invariant: str
+    detail: str
+    step: int
+    sim_time: float
+
+    def describe(self) -> str:
+        return (
+            f"step={self.step:04d} t={self.sim_time:.6f} "
+            f"invariant={self.invariant} {self.detail}"
+        )
+
+
+# -- shared state readers ---------------------------------------------------------
+
+
+def _reference_server(shard):
+    """The node with the longest applied chain (ties: validator order).
+
+    Chain-agreement is itself an invariant, so any maximal node is a
+    faithful read of the shard's committed history — including nodes
+    currently crashed, whose durable storage survives.
+    """
+    best = None
+    best_len = -1
+    for node_id in shard.engine.validator_order:
+        server = shard.servers[node_id]
+        chain_len = server.database.collection("blocks").count({})
+        if chain_len > best_len:
+            best, best_len = server, chain_len
+    return best
+
+
+def applied_transactions(plane: FaultPlane) -> dict[str, tuple[str, dict[str, Any]]]:
+    """tx_id -> (shard_id, payload) over every shard's applied history.
+
+    "Applied" means listed in a committed block's ``transaction_ids`` —
+    the authoritative per-shard state, as opposed to facade records
+    (which include rejections) or the ``transactions`` collection (which
+    also holds cross-shard reference imports).
+
+    Memoised per loop position: invariant checks run back-to-back with
+    no events in between, so one scan serves the whole check round
+    instead of every chain-reading invariant repeating it (which made
+    runs quadratic in step count).
+    """
+    cache = getattr(plane, "_applied_cache", None)
+    position = plane.loop.processed
+    if cache is not None and cache[0] == position:
+        return cache[1]
+    out: dict[str, tuple[str, dict[str, Any]]] = {}
+    for shard_id in plane.shard_ids:
+        shard = plane.shard_cluster(shard_id)
+        server = _reference_server(shard)
+        transactions = server.database.collection("transactions")
+        for block in server.database.collection("blocks").find({}, copy=False):
+            for tx_id in block["transaction_ids"]:
+                payload = transactions.find_one({"id": tx_id}, copy=False)
+                if payload is not None:
+                    out[tx_id] = (shard_id, payload)
+    plane._applied_cache = (position, out)
+    return out
+
+
+def _spent_refs(payload: dict[str, Any]):
+    for item in payload.get("inputs", []):
+        fulfills = item.get("fulfills")
+        if fulfills:
+            yield (fulfills["transaction_id"], fulfills["output_index"])
+
+
+# -- per-step invariants ----------------------------------------------------------
+
+
+def no_double_spend(plane: FaultPlane) -> list[str]:
+    """Every output is spent by at most one applied transaction, globally."""
+    spenders: dict[tuple[str, int], set[str]] = {}
+    for tx_id, (_, payload) in applied_transactions(plane).items():
+        for ref in _spent_refs(payload):
+            spenders.setdefault(ref, set()).add(tx_id)
+    violations = []
+    for ref, txs in sorted(spenders.items()):
+        if len(txs) > 1:
+            violations.append(
+                f"output {ref[0][:8]}:{ref[1]} spent by {len(txs)} committed txs: "
+                + ",".join(sorted(tx[:8] for tx in txs))
+            )
+    return violations
+
+
+def chain_consistency(plane: FaultPlane) -> list[str]:
+    """Per shard: every node's chain is height-contiguous and all nodes
+    agree at every height they share — on the block id *and* on the set
+    of transactions the block delivered (``deliver_tx`` divergence hides
+    behind identical block ids, which are fixed at proposal time)."""
+    violations = []
+    for shard_id in plane.shard_ids:
+        shard = plane.shard_cluster(shard_id)
+        by_height: dict[int, dict[str, tuple[str, tuple[str, ...]]]] = {}
+        for node_id in shard.engine.validator_order:
+            blocks = shard.servers[node_id].database.collection("blocks").find({}, copy=False)
+            heights = sorted(block["height"] for block in blocks)
+            if heights != list(range(1, len(heights) + 1)):
+                violations.append(
+                    f"{shard_id}/{node_id}: non-contiguous heights {heights[:6]}..."
+                )
+            for block in blocks:
+                by_height.setdefault(block["height"], {})[node_id] = (
+                    block["block_id"],
+                    tuple(sorted(block["transaction_ids"])),
+                )
+        for height, views in sorted(by_height.items()):
+            if len(set(views.values())) > 1:
+                detail = " ".join(
+                    f"{node}={bid[:8]}/{len(txs)}tx"
+                    for node, (bid, txs) in sorted(views.items())
+                )
+                violations.append(
+                    f"{shard_id}: replicas disagree at height {height}: {detail}"
+                )
+    return violations
+
+
+def conservation(plane: FaultPlane) -> list[str]:
+    """Spends reference committed outputs, and TRANSFERs conserve amounts."""
+    applied = applied_transactions(plane)
+    violations = []
+    for tx_id, (shard_id, payload) in applied.items():
+        in_total = 0
+        for ref_tx, ref_index in _spent_refs(payload):
+            source = applied.get(ref_tx)
+            if source is None:
+                violations.append(
+                    f"{tx_id[:8]} on {shard_id} spends {ref_tx[:8]}:{ref_index}, "
+                    "which is committed nowhere"
+                )
+                continue
+            outputs = source[1].get("outputs", [])
+            if ref_index >= len(outputs):
+                violations.append(
+                    f"{tx_id[:8]} spends nonexistent output {ref_tx[:8]}:{ref_index}"
+                )
+                continue
+            in_total += int(outputs[ref_index].get("amount") or 0)
+        if payload.get("operation") == "TRANSFER":
+            out_total = sum(int(o.get("amount") or 0) for o in payload.get("outputs", []))
+            if in_total != out_total:
+                violations.append(
+                    f"TRANSFER {tx_id[:8]} creates {out_total} from {in_total}"
+                )
+    return violations
+
+
+def replica_utxo_consistency(plane: FaultPlane) -> list[str]:
+    """Each node's ``utxos`` view equals what replaying its own chain
+    (minus cross-shard committed tombstones) predicts."""
+    violations = []
+    for shard_id in plane.shard_ids:
+        shard = plane.shard_cluster(shard_id)
+        tombstoned: set[tuple[str, int]] = set()
+        agent = plane.agents.get(shard_id)
+        if agent is not None:
+            for lock in agent.durable.collection("shard_locks").find(
+                {"status": "committed"}, copy=False
+            ):
+                tombstoned.add((lock["transaction_id"], lock["output_index"]))
+        for node_id in shard.engine.validator_order:
+            server = shard.servers[node_id]
+            transactions = server.database.collection("transactions")
+            expected: set[tuple[str, int]] = set()
+            for block in server.database.collection("blocks").find({}, copy=False):
+                for tx_id in block["transaction_ids"]:
+                    payload = transactions.find_one({"id": tx_id}, copy=False)
+                    if payload is None:
+                        continue
+                    for index in range(len(payload.get("outputs", []))):
+                        expected.add((tx_id, index))
+                    for ref in _spent_refs(payload):
+                        expected.discard(ref)
+            expected -= tombstoned
+            actual = {
+                (doc["transaction_id"], doc["output_index"])
+                for doc in server.database.collection("utxos").find({}, copy=False)
+            }
+            if expected != actual:
+                ghost = sorted(actual - expected)[:3]
+                missing = sorted(expected - actual)[:3]
+                violations.append(
+                    f"{shard_id}/{node_id}: utxo view drifted "
+                    f"(ghost={[(t[:8], i) for t, i in ghost]} "
+                    f"missing={[(t[:8], i) for t, i in missing]})"
+                )
+    return violations
+
+
+def lock_outbox_consistency(plane: FaultPlane) -> list[str]:
+    """Durable 2PC state matches the chains it claims to reflect."""
+    applied = applied_transactions(plane)
+    violations = []
+    for shard_id, agent in sorted(plane.agents.items()):
+        for lock in agent.durable.collection("shard_locks").find(
+            {"status": "committed"}, copy=False
+        ):
+            holder = lock["holder"]
+            if holder not in applied:
+                violations.append(
+                    f"{shard_id}: committed tombstone for {holder[:8]} "
+                    "but the holder is committed nowhere"
+                )
+        for doc in agent.durable.collection("shard_outbox").find({}, copy=False):
+            tx_id = doc["tx_id"]
+            if doc["outcome"] == "committed" and tx_id not in applied:
+                violations.append(
+                    f"{shard_id}: outbox says {tx_id[:8]} committed "
+                    "but the home chain never applied it"
+                )
+            if doc["outcome"] == "aborted" and tx_id in applied:
+                violations.append(
+                    f"{shard_id}: outbox says {tx_id[:8]} aborted "
+                    f"but it is applied on {applied[tx_id][0]}"
+                )
+    return violations
+
+
+def metrics_consistency(plane: FaultPlane) -> list[str]:
+    """Aggregate metrics equal the sum of their per-shard parts."""
+    violations = []
+    cluster = plane.cluster
+    if plane.sharded:
+        merged = cluster.records
+        committed_ids = {
+            tx_id for tx_id, record in merged.items() if record.committed_at is not None
+        }
+        aggregate = cluster.aggregate_metrics()
+        if aggregate.committed != len(committed_ids):
+            violations.append(
+                f"aggregate committed={aggregate.committed} but merged records "
+                f"show {len(committed_ids)}"
+            )
+        per_shard_total = sum(
+            metrics.committed for metrics in cluster.per_shard_metrics().values()
+        )
+        shard_committed_ids = {
+            tx_id
+            for shard in cluster.shards.values()
+            for tx_id, record in shard.records.items()
+            if record.committed_at is not None
+        }
+        if per_shard_total != len(shard_committed_ids):
+            violations.append(
+                f"per-shard committed totals {per_shard_total} != "
+                f"{len(shard_committed_ids)} distinct shard-level commits"
+            )
+    else:
+        committed = sum(
+            1 for record in cluster.records.values() if record.committed_at is not None
+        )
+        if committed != len(cluster.committed_records()):
+            violations.append("committed_records() disagrees with record flags")
+    return violations
+
+
+def mempool_discipline(plane: FaultPlane) -> list[str]:
+    """Dedup memory stays bounded; nothing committed sits in a pool."""
+    violations = []
+    for shard_id in plane.shard_ids:
+        shard = plane.shard_cluster(shard_id)
+        for node_id in shard.engine.validator_order:
+            validator = shard.engine.validator(node_id)
+            mempool = validator.mempool
+            if mempool.seen_size() > mempool.seen_capacity:
+                violations.append(
+                    f"{shard_id}/{node_id}: seen window {mempool.seen_size()} "
+                    f"exceeds bound {mempool.seen_capacity}"
+                )
+            applied_here: set[str] = set()
+            blocks = shard.servers[node_id].database.collection("blocks")
+            for block in blocks.find({}, copy=False):
+                applied_here.update(block["transaction_ids"])
+            resident = set(mempool.pending_ids()) & applied_here
+            if resident:
+                violations.append(
+                    f"{shard_id}/{node_id}: committed txs still pooled: "
+                    + ",".join(sorted(tx[:8] for tx in resident))
+                )
+    return violations
+
+
+# -- quiesce invariants -----------------------------------------------------------
+
+
+def no_stuck_locks(plane: FaultPlane) -> list[str]:
+    """After repair + drain, no prepared lock survives anywhere."""
+    violations = []
+    for shard_id, agent in sorted(plane.agents.items()):
+        held = agent.active_locks()
+        if held:
+            violations.append(
+                f"{shard_id}: {len(held)} UTXO lock(s) still prepared: "
+                + ",".join(sorted(lock["holder"][:8] for lock in held))
+            )
+    return violations
+
+
+def outbox_terminal(plane: FaultPlane) -> list[str]:
+    """Every 2PC instance reached a fully-acknowledged terminal state."""
+    violations = []
+    for shard_id, agent in sorted(plane.agents.items()):
+        for doc in agent.unfinished():
+            violations.append(
+                f"{shard_id}: outbox record {doc['tx_id'][:8]} parked in "
+                f"state={doc['state']}"
+            )
+    return violations
+
+
+def all_cross_settled(plane: FaultPlane) -> list[str]:
+    """Every cross-shard submission has a final outcome at quiesce."""
+    if not plane.sharded:
+        return []
+    violations = []
+    for tx_id, record in sorted(plane.cluster.cross_records.items()):
+        if record.committed_at is None and record.rejected is None:
+            violations.append(f"cross-shard tx {tx_id[:8]} never settled")
+    return violations
+
+
+DEFAULT_INVARIANTS: list[Invariant] = [
+    Invariant("no_double_spend", no_double_spend),
+    # Full per-node chain re-reads: cadenced like the other chain
+    # replayers (still runs unconditionally at quiesce).
+    Invariant("chain_consistency", chain_consistency, every=5),
+    Invariant("conservation", conservation),
+    Invariant("replica_utxo_consistency", replica_utxo_consistency, every=5),
+    Invariant("lock_outbox_consistency", lock_outbox_consistency, sharded_only=True),
+    Invariant("metrics_consistency", metrics_consistency),
+    Invariant("mempool_discipline", mempool_discipline, every=5),
+    Invariant("no_stuck_locks", no_stuck_locks, scope="quiesce", sharded_only=True),
+    Invariant("outbox_terminal", outbox_terminal, scope="quiesce", sharded_only=True),
+    Invariant("all_cross_settled", all_cross_settled, scope="quiesce", sharded_only=True),
+]
+
+
+@dataclass
+class InvariantChecker:
+    """Runs the applicable registry slice and accumulates verdicts."""
+
+    plane: FaultPlane
+    invariants: list[Invariant] = field(default_factory=lambda: list(DEFAULT_INVARIANTS))
+    checks_run: dict[str, int] = field(default_factory=dict)
+
+    def register(self, invariant: Invariant) -> None:
+        self.invariants.append(invariant)
+
+    def applicable(self, scope: str) -> list[Invariant]:
+        return [
+            invariant
+            for invariant in self.invariants
+            if invariant.scope == scope and (self.plane.sharded or not invariant.sharded_only)
+        ]
+
+    def check_step(self, step: int) -> list[Violation]:
+        """Run due per-step invariants; returns any violations."""
+        violations: list[Violation] = []
+        for invariant in self.applicable("step"):
+            if step % invariant.every != 0:
+                continue
+            self.checks_run[invariant.name] = self.checks_run.get(invariant.name, 0) + 1
+            for detail in invariant.fn(self.plane):
+                violations.append(
+                    Violation(invariant.name, detail, step, self.plane.now)
+                )
+        return violations
+
+    def check_quiesce(self, step: int) -> list[Violation]:
+        """Run everything — per-step *and* quiesce-only — after repair."""
+        violations: list[Violation] = []
+        for scope in ("step", "quiesce"):
+            for invariant in self.applicable(scope):
+                self.checks_run[invariant.name] = self.checks_run.get(invariant.name, 0) + 1
+                for detail in invariant.fn(self.plane):
+                    violations.append(
+                        Violation(invariant.name, detail, step, self.plane.now)
+                    )
+        return violations

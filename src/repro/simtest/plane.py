@@ -1,0 +1,195 @@
+"""The fault plane: one chaos surface over both deployment shapes.
+
+PR 2 scattered ad-hoc crash knobs across the stack — ``Network.crash``,
+``FailureInjector.crash_now``, ``ShardedCluster.crash_coordinator``,
+private recovery drivers on the cluster and the 2PC agent.  The
+:class:`FaultPlane` gathers them behind one interface that treats a
+plain :class:`~repro.core.cluster.SmartchainCluster` and a
+:class:`~repro.sharding.cluster.ShardedCluster` uniformly, so a fault
+schedule generated for one topology replays against the other.
+
+Every mutation goes through the underlying failure injectors, which
+means the node-side crash/recovery callbacks (mempool flush, catch-up,
+RETURN re-enqueue, 2PC resume) fire exactly as they would in the
+hand-written crash tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.cluster import SmartchainCluster, TxRecord
+from repro.sharding.cluster import ShardedCluster
+from repro.sharding.coordinator import COORDINATOR_NODE, TwoPhaseCoordinator
+from repro.sim.events import EventLoop
+
+#: Shard label a single (unsharded) cluster is addressed by.
+SINGLE_SHARD = "single"
+
+
+class FaultPlane:
+    """Uniform chaos-injection surface over a cluster deployment.
+
+    Args:
+        cluster: a :class:`ShardedCluster` or :class:`SmartchainCluster`.
+    """
+
+    def __init__(self, cluster: ShardedCluster | SmartchainCluster):
+        self.cluster = cluster
+        self.sharded = isinstance(cluster, ShardedCluster)
+        if self.sharded:
+            self.shard_ids: list[str] = list(cluster.shard_ids)
+            self._shards: dict[str, SmartchainCluster] = dict(cluster.shards)
+        else:
+            self.shard_ids = [SINGLE_SHARD]
+            self._shards = {SINGLE_SHARD: cluster}
+        #: Shards whose network currently has a chaos delay installed.
+        self._chaotic: set[str] = set()
+        #: Shards currently split by :meth:`partition_minority`.
+        self._partitioned: dict[str, list[str]] = {}
+        #: (loop position, result) memo for invariants.applied_transactions.
+        self._applied_cache: tuple | None = None
+
+    # -- topology ---------------------------------------------------------------
+
+    @property
+    def loop(self) -> EventLoop:
+        return self.cluster.loop
+
+    @property
+    def now(self) -> float:
+        return self.cluster.loop.clock.now
+
+    def shard_cluster(self, shard_id: str) -> SmartchainCluster:
+        return self._shards[shard_id]
+
+    def nodes(self, shard_id: str) -> list[str]:
+        """Validator ids of one shard, in deterministic order."""
+        return list(self._shards[shard_id].engine.validator_order)
+
+    @property
+    def agents(self) -> dict[str, TwoPhaseCoordinator]:
+        """2PC agents by shard (empty for a single cluster)."""
+        return self.cluster.agents if self.sharded else {}
+
+    def register_phase_listener(self, listener: Callable[[str, str, str], None]) -> None:
+        """Observe 2PC protocol-phase transitions on every agent."""
+        for agent in self.agents.values():
+            agent.phase_listeners.append(listener)
+
+    # -- node faults ------------------------------------------------------------
+
+    def crash_node(self, shard_id: str, node_id: str) -> None:
+        self._shards[shard_id].failures.crash_now(node_id)
+
+    def recover_node(self, shard_id: str, node_id: str) -> None:
+        self._shards[shard_id].failures.recover_now(node_id)
+
+    def crashed_nodes(self, shard_id: str) -> list[str]:
+        shard = self._shards[shard_id]
+        return [n for n in shard.engine.validator_order if shard.network.is_crashed(n)]
+
+    # -- coordinator faults -------------------------------------------------------
+
+    def crash_coordinator(self, shard_id: str) -> None:
+        if not self.sharded:
+            raise ValueError("a single cluster has no 2PC coordinator to crash")
+        self._shards[shard_id].failures.crash_now(COORDINATOR_NODE)
+
+    def recover_coordinator(self, shard_id: str) -> None:
+        if not self.sharded:
+            raise ValueError("a single cluster has no 2PC coordinator to recover")
+        self._shards[shard_id].failures.recover_now(COORDINATOR_NODE)
+
+    def coordinator_crashed(self, shard_id: str) -> bool:
+        return self.sharded and self.cluster.agents[shard_id].crashed
+
+    # -- network faults -----------------------------------------------------------
+
+    def partition_minority(self, shard_id: str, minority: int = 1) -> None:
+        """Split one shard's validator network: the last ``minority``
+        nodes (by validator order) are isolated from the rest.  The
+        majority keeps a BFT quorum, so the shard stays live while the
+        minority silently falls behind."""
+        order = self.nodes(shard_id)
+        minority = max(1, min(minority, len(order) - 1))
+        isolated = order[-minority:]
+        kept = order[:-minority]
+        self._shards[shard_id].network.partition([set(kept), set(isolated)])
+        self._partitioned[shard_id] = isolated
+
+    def heal(self, shard_id: str) -> None:
+        """Remove a partition and resync the nodes it isolated — a healed
+        minority lags exactly like a briefly crashed node does."""
+        shard = self._shards[shard_id]
+        shard.network.heal_partition()
+        for node_id in self._partitioned.pop(shard_id, []):
+            if not shard.network.is_crashed(node_id):
+                shard.resync_node(node_id)
+
+    def set_chaos_delay(self, shard_id: str, extra_delay: float) -> None:
+        """Install (or with 0.0 clear) message delay/reorder chaos on one
+        shard's validator network."""
+        self._shards[shard_id].network.set_chaos(extra_delay)
+        if extra_delay > 0:
+            self._chaotic.add(shard_id)
+        else:
+            self._chaotic.discard(shard_id)
+
+    def time_jump(self, delta: float) -> None:
+        """Advance simulated time without running anything — every armed
+        timer and in-flight message becomes due at once (clock skew /
+        scheduler stall)."""
+        self.cluster.loop.clock.advance(delta)
+
+    # -- driving ------------------------------------------------------------------
+
+    def submit_payload(self, payload: dict[str, Any], **kwargs: Any):
+        return self.cluster.submit_payload(payload, **kwargs)
+
+    def record_for(self, tx_id: str) -> TxRecord | None:
+        if self.sharded:
+            return self.cluster.record_for(tx_id)
+        return self.cluster.records.get(tx_id)
+
+    def run_slice(self, duration: float, max_events: int = 250_000) -> None:
+        """Advance the shared loop by one harness step's worth of time."""
+        self.loop.run(until=self.loop.clock.now + duration, max_events=max_events)
+
+    # -- quiesce -------------------------------------------------------------------
+
+    def quiesce(self, max_events: int = 2_000_000, rounds: int = 4) -> None:
+        """Repair everything and drain the deployment to a fixpoint.
+
+        Heals partitions, clears chaos, recovers every crashed node and
+        coordinator, then alternates ``run_until_idle`` with 2PC
+        ``resume()`` kicks until no agent holds undecided state (bounded
+        by ``rounds`` — parked retries need at most one kick per side).
+        """
+        for shard_id in self.shard_ids:
+            if shard_id in self._partitioned:
+                self.heal(shard_id)
+            else:
+                self._shards[shard_id].network.heal_partition()
+            self.set_chaos_delay(shard_id, 0.0)
+            for node_id in self.crashed_nodes(shard_id):
+                self.recover_node(shard_id, node_id)
+            if self.coordinator_crashed(shard_id):
+                self.recover_coordinator(shard_id)
+        # A heal is not a crash: nodes that merely lagged still need the
+        # catch-up kick recovery would have given them.
+        for shard_id in self.shard_ids:
+            shard = self._shards[shard_id]
+            for node_id in shard.engine.validator_order:
+                shard.resync_node(node_id)
+        self.loop.run_until_idle(max_events=max_events)
+        for _ in range(rounds):
+            unfinished = any(
+                agent.active_locks() or agent.unfinished()
+                for agent in self.agents.values()
+            )
+            if not unfinished:
+                break
+            for agent in self.agents.values():
+                agent.resume()
+            self.loop.run_until_idle(max_events=max_events)

@@ -1,0 +1,239 @@
+"""Seeded fault schedules.
+
+A :class:`Schedule` is the machine-generated half of a chaos run: a
+sparse map from harness step to one :class:`FaultAction` (the workload
+half is drawn live from the same master seed).  The
+:class:`ScheduleGenerator` composes plans from the full fault vocabulary
+— node crash/restart, coordinator crash (timed or armed on an exact 2PC
+phase), network partition/heal, message delay/reorder, clock skew and
+mempool-pressure bursts — while keeping every plan *survivable*: at most
+one disruption per shard at a time, every fault paired with a repair, so
+the BFT quorums stay live and a red run always means a broken invariant,
+never a schedule that starved the system.
+
+Schedules serialise to canonical JSON; two runs from one seed dump
+byte-identical plans, which is what makes a failure replayable from the
+``(seed, steps)`` pair alone.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.common.encoding import canonical_serialize
+from repro.sim.rng import SeededRng
+from repro.simtest.plane import FaultPlane
+
+#: 2PC phases the generator arms coordinator-crash traps on.  Covers both
+#: roles: the coordinator falling over right after durable intent
+#: (``begin``), between the outbox flip and the home submit
+#: (``commit_pending``), after deciding either way; the participant dying
+#: with a fresh prepared lock or mid decision application.
+TRAP_PHASES = (
+    "begin",
+    "commit_pending",
+    "decided:committed",
+    "decided:aborted",
+    "prepared",
+    "decision_applied",
+)
+
+#: Fault kinds applicable to any deployment / only to sharded ones.
+COMMON_KINDS = ("crash_node", "partition", "net_delay", "time_jump", "burst")
+SHARDED_KINDS = ("crash_coordinator", "phase_trap")
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled fault (or its paired repair).
+
+    Attributes:
+        step: harness step the action applies at.
+        kind: one of crash_node / recover_node / crash_coordinator /
+            recover_coordinator / phase_trap / trap_clear / partition /
+            heal / net_delay / net_calm / time_jump / burst.
+        shard: target shard (None for deployment-wide actions).
+        node: target validator (crash_node / recover_node only).
+        arg: kind-specific payload — trap phase, delay seconds, jump
+            seconds, or burst size.
+    """
+
+    step: int
+    kind: str
+    shard: str | None = None
+    node: str | None = None
+    arg: float | int | str | None = None
+
+    def describe(self) -> str:
+        """Stable one-line rendering for schedule dumps and step logs."""
+        parts = [self.kind]
+        if self.shard is not None:
+            parts.append(f"shard={self.shard}")
+        if self.node is not None:
+            parts.append(f"node={self.node}")
+        if self.arg is not None:
+            arg = f"{self.arg:.6f}" if isinstance(self.arg, float) else str(self.arg)
+            parts.append(f"arg={arg}")
+        return " ".join(parts)
+
+    def to_dict(self) -> dict:
+        out: dict = {"step": self.step, "kind": self.kind}
+        if self.shard is not None:
+            out["shard"] = self.shard
+        if self.node is not None:
+            out["node"] = self.node
+        if self.arg is not None:
+            out["arg"] = self.arg
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultAction":
+        return cls(
+            step=int(data["step"]),
+            kind=str(data["kind"]),
+            shard=data.get("shard"),
+            node=data.get("node"),
+            arg=data.get("arg"),
+        )
+
+
+@dataclass
+class Schedule:
+    """A complete fault plan for one run."""
+
+    seed: int
+    steps: int
+    actions: list[FaultAction]
+
+    def __post_init__(self) -> None:
+        self._by_step: dict[int, list[FaultAction]] = {}
+        for action in self.actions:
+            self._by_step.setdefault(action.step, []).append(action)
+
+    def at(self, step: int) -> list[FaultAction]:
+        """Actions scheduled for one step (usually zero or one)."""
+        return self._by_step.get(step, [])
+
+    def to_json(self) -> str:
+        """Canonical (byte-stable) JSON — the same form the rest of the
+        system hashes, so the format cannot silently fork from it."""
+        return canonical_serialize(
+            {
+                "seed": self.seed,
+                "steps": self.steps,
+                "actions": [action.to_dict() for action in self.actions],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Schedule":
+        data = json.loads(text)
+        return cls(
+            seed=int(data["seed"]),
+            steps=int(data["steps"]),
+            actions=[FaultAction.from_dict(item) for item in data["actions"]],
+        )
+
+
+class ScheduleGenerator:
+    """Draws survivable fault plans from a named RNG stream.
+
+    Args:
+        rng: the run's master :class:`SeededRng` (the generator draws on
+            ``schedule:*`` streams only, so workload draws are unaffected
+            by how many faults a plan contains).
+        plane: topology source — shard ids and validator names.
+        fault_rate: per-step probability that a new fault starts.
+    """
+
+    def __init__(self, rng: SeededRng, plane: FaultPlane, fault_rate: float = 0.12):
+        if not 0.0 <= fault_rate <= 1.0:
+            raise ValueError(f"fault_rate must be in [0, 1], got {fault_rate}")
+        self._rng = rng
+        self._plane = plane
+        self.fault_rate = fault_rate
+
+    def generate(self, steps: int) -> Schedule:
+        """Produce a plan of ``steps`` steps with paired repairs."""
+        rng = self._rng
+        plane = self._plane
+        kinds = list(COMMON_KINDS) + (list(SHARDED_KINDS) if plane.sharded else [])
+        actions: list[FaultAction] = []
+        #: step -> repairs that come due there (emitted in order).
+        repairs: dict[int, list[FaultAction]] = {}
+        #: shards with an open node-crash or partition (one at a time).
+        disrupted: set[str] = set()
+        down_coordinators: set[str] = set()
+        #: shards with an open delay window — windows must not overlap,
+        #: or one window's net_calm would cut another's short and the
+        #: dumped plan would diverge from the executed chaos.
+        delayed: set[str] = set()
+        trap_armed = False
+
+        def repair_at(step: int, action: FaultAction) -> None:
+            repairs.setdefault(step, []).append(action)
+
+        for step in range(steps):
+            for repair in repairs.pop(step, []):
+                actions.append(repair)
+                if repair.kind in ("recover_node", "heal"):
+                    disrupted.discard(repair.shard)
+                elif repair.kind == "recover_coordinator":
+                    down_coordinators.discard(repair.shard)
+                elif repair.kind == "net_calm":
+                    delayed.discard(repair.shard)
+                elif repair.kind == "trap_clear":
+                    trap_armed = False
+            if rng.uniform("schedule:gate", 0.0, 1.0) >= self.fault_rate:
+                continue
+            kind = rng.choice("schedule:kind", kinds)
+            shard = rng.choice("schedule:shard", plane.shard_ids)
+            hold = rng.randint("schedule:hold", 3, 24)
+            if kind == "crash_node":
+                if shard in disrupted:
+                    continue
+                node = rng.choice("schedule:node", plane.nodes(shard))
+                disrupted.add(shard)
+                actions.append(FaultAction(step, "crash_node", shard=shard, node=node))
+                repair_at(step + hold, FaultAction(step + hold, "recover_node", shard=shard, node=node))
+            elif kind == "partition":
+                if shard in disrupted:
+                    continue
+                disrupted.add(shard)
+                actions.append(FaultAction(step, "partition", shard=shard))
+                repair_at(step + hold, FaultAction(step + hold, "heal", shard=shard))
+            elif kind == "crash_coordinator":
+                if shard in down_coordinators:
+                    continue
+                down_coordinators.add(shard)
+                actions.append(FaultAction(step, "crash_coordinator", shard=shard))
+                repair_at(
+                    step + hold, FaultAction(step + hold, "recover_coordinator", shard=shard)
+                )
+            elif kind == "phase_trap":
+                if trap_armed:
+                    continue
+                trap_armed = True
+                phase = rng.choice("schedule:phase", TRAP_PHASES)
+                actions.append(FaultAction(step, "phase_trap", arg=phase))
+                repair_at(step + hold, FaultAction(step + hold, "trap_clear"))
+            elif kind == "net_delay":
+                if shard in delayed:
+                    continue
+                delayed.add(shard)
+                delay = round(rng.uniform("schedule:delay", 0.002, 0.05), 6)
+                actions.append(FaultAction(step, "net_delay", shard=shard, arg=delay))
+                repair_at(step + hold, FaultAction(step + hold, "net_calm", shard=shard))
+            elif kind == "time_jump":
+                jump = round(rng.uniform("schedule:jump", 0.1, 1.5), 6)
+                actions.append(FaultAction(step, "time_jump", arg=jump))
+            elif kind == "burst":
+                size = rng.randint("schedule:burst", 4, 12)
+                actions.append(FaultAction(step, "burst", arg=size))
+        # Unemitted repairs past the horizon: quiesce repairs everything,
+        # but keep the plan self-contained for replay tooling.
+        for step in sorted(repairs):
+            for repair in repairs[step]:
+                actions.append(FaultAction(steps, repair.kind, repair.shard, repair.node, repair.arg))
+        return Schedule(seed=rng.seed, steps=steps, actions=actions)

@@ -1,0 +1,82 @@
+"""Ring rebalance edge cases: emptying, duplicates, degenerate vnodes."""
+
+import pytest
+
+from repro.sharding.ring import ConsistentHashRing
+
+
+def _keys(n: int = 200) -> list[str]:
+    return [f"edge-key-{index}" for index in range(n)]
+
+
+class TestRemovingTheLastShard:
+    def test_ring_empties_cleanly(self):
+        ring = ConsistentHashRing(["only"])
+        ring.remove_shard("only")
+        assert len(ring) == 0
+        assert ring.shards == []
+        with pytest.raises(LookupError):
+            ring.shard_for("anything")
+
+    def test_empty_ring_can_be_repopulated(self):
+        ring = ConsistentHashRing(["a"])
+        ring.remove_shard("a")
+        ring.add_shard("b")
+        assert all(ring.shard_for(key) == "b" for key in _keys(32))
+
+    def test_double_remove_raises(self):
+        ring = ConsistentHashRing(["a"])
+        ring.remove_shard("a")
+        with pytest.raises(KeyError):
+            ring.remove_shard("a")
+
+
+class TestDuplicateShardIds:
+    def test_duplicate_add_does_not_inflate_placement(self):
+        ring = ConsistentHashRing(["a", "b"])
+        baseline = ring.assignment(_keys())
+        ring.add_shard("a")
+        ring.add_shard("a")
+        assert ring.shards == ["a", "b"]
+        assert ring.assignment(_keys()) == baseline
+
+    def test_duplicate_seed_membership_collapses(self):
+        ring = ConsistentHashRing(["a", "a", "b", "b", "a"])
+        assert ring.shards == ["a", "b"]
+        spread = ring.spread(_keys())
+        # Two members must split the keys, not 3:2-weight them.
+        assert set(spread) == {"a", "b"}
+        assert min(spread.values()) > 0
+
+    def test_remove_after_duplicate_add_fully_evicts(self):
+        ring = ConsistentHashRing(["a", "b"])
+        ring.add_shard("a")  # duplicate
+        ring.remove_shard("a")
+        assert "a" not in ring
+        assert all(ring.shard_for(key) == "b" for key in _keys(32))
+
+
+class TestDegenerateVnodeCount:
+    def test_vnode_count_one_still_covers_the_circle(self):
+        ring = ConsistentHashRing(["a", "b", "c"], virtual_nodes=1)
+        spread = ring.spread(_keys(1000))
+        assert sum(spread.values()) == 1000
+        # One point per shard: wrap-around must still map every key.
+        assert set(spread) == {"a", "b", "c"}
+
+    def test_vnode_count_one_minimal_movement_on_remove(self):
+        ring = ConsistentHashRing(["a", "b", "c"], virtual_nodes=1)
+        before = ring.assignment(_keys(500))
+        ring.remove_shard("c")
+        after = ring.assignment(_keys(500))
+        for key, owner in before.items():
+            if owner != "c":
+                assert after[key] == owner  # survivors keep their keys
+
+    def test_vnode_count_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(["a"], virtual_nodes=0)
+
+    def test_single_shard_single_vnode_owns_everything(self):
+        ring = ConsistentHashRing(["solo"], virtual_nodes=1)
+        assert all(ring.shard_for(key) == "solo" for key in _keys(64))

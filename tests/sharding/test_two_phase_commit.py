@@ -263,6 +263,45 @@ class TestHomeShardDown:
         assert _origin_utxo_present(cluster, create_tx, origin)
 
 
+class TestLateApplyingReplica:
+    def test_node_down_during_cross_commit_scrubs_utxo_on_catchup(self, staged):
+        """Found by the chaos harness (ISSUE 3): ``consume_outputs``
+        deletes the spent UTXO on every replica at decision time, but a
+        node that had not yet applied the *creating* block re-inserted
+        the UTXO when it caught up — a ghost spendable output on one
+        replica.  The catch-up path must scrub foreign-spent outputs."""
+        cluster, _, create_tx, transfer_tx, origin, target = staged
+        lagging = cluster.shards[origin].engine.validator_order[-1]
+        # Crash one origin replica first, then mint and migrate a fresh
+        # asset: the crashed node sees neither the CREATE nor the spend.
+        owner = keypair_from_string("late-owner")
+        recipient = keypair_from_string("late-recipient")
+        cluster.shards[origin].failures.crash_now(lagging)
+        fresh = cluster.driver.prepare_create(
+            owner,
+            {"capabilities": ["late"]},
+            metadata={SHARD_KEY_METADATA: _migration_key(cluster, origin)},
+        )
+        cluster.submit_and_settle(fresh.to_dict())
+        migrate = cluster.driver.prepare_transfer(
+            owner,
+            [(fresh.tx_id, 0, 1)],
+            fresh.tx_id,
+            [(recipient.public_key, 1)],
+            metadata={SHARD_KEY_METADATA: _migration_key(cluster, target)},
+        )
+        record = cluster.submit_and_settle(migrate.to_dict())
+        assert record.committed_at is not None
+        # Recovery applies the missed blocks — including the CREATE whose
+        # output the 2PC commit already spent.
+        cluster.shards[origin].failures.recover_now(lagging)
+        cluster.run()
+        utxos = cluster.shards[origin].servers[lagging].database.collection("utxos")
+        assert (
+            utxos.find_one({"transaction_id": fresh.tx_id, "output_index": 0}) is None
+        ), "catch-up resurrected a UTXO a cross-shard commit had spent"
+
+
 class TestValidatorNodeCrash:
     def test_bft_node_crash_mid_protocol_is_tolerated(self, staged):
         """Killing a *validator* (not the agent) mid-2PC must not break

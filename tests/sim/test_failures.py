@@ -60,3 +60,63 @@ class TestFailureInjector:
         assert network.is_crashed("n0")
         injector.recover_now("n0")
         assert not network.is_crashed("n0")
+
+
+class TestSameTickOrdering:
+    """Crash/delivery ties at one simulated instant must be deterministic
+    and independent of installation order (the replay tie-break)."""
+
+    def test_crash_scheduled_after_send_still_beats_delivery(self):
+        loop = EventLoop()
+        network = Network(loop, SeededRng(5))
+        delivered = []
+        network.register("n0", lambda m: delivered.append(m.kind))
+        network.register("n1", lambda m: None)
+        network.config.jitter = 0.0
+        network.config.base_latency = 1.0
+        # The message is scheduled first (earlier heap sequence)...
+        network.send("n1", "n0", "PING", None, size_bytes=0)
+        arrival = 1.0
+        # ...and the crash lands at exactly its arrival tick, afterwards.
+        injector = FailureInjector(loop, network)
+        injector.schedule([CrashEvent("n0", crash_at=arrival)])
+        loop.run_until_idle()
+        assert delivered == []  # failure priority wins the tie
+        assert network.stats["dropped"] == 1
+
+    def test_recovery_at_delivery_tick_lets_the_message_through(self):
+        loop = EventLoop()
+        network = Network(loop, SeededRng(5))
+        delivered = []
+        network.register("n0", lambda m: delivered.append(m.kind))
+        network.register("n1", lambda m: None)
+        network.config.jitter = 0.0
+        network.config.base_latency = 1.0
+        network.send("n1", "n0", "PING", None, size_bytes=0)
+        injector = FailureInjector(loop, network)
+        injector.schedule([CrashEvent("n0", crash_at=0.5, recover_at=1.0)])
+        loop.run_until_idle()
+        # Recovery (failure priority) applies before the same-tick
+        # delivery: the node is back up when the message lands.
+        assert delivered == ["PING"]
+
+    def test_installation_order_does_not_change_the_outcome(self):
+        outcomes = []
+        for install_first in (True, False):
+            loop = EventLoop()
+            network = Network(loop, SeededRng(5))
+            delivered = []
+            network.register("n0", lambda m: delivered.append(m.kind))
+            network.register("n1", lambda m: None)
+            network.config.jitter = 0.0
+            network.config.base_latency = 1.0
+            injector = FailureInjector(loop, network)
+            if install_first:
+                injector.schedule([CrashEvent("n0", crash_at=1.0)])
+                network.send("n1", "n0", "PING", None, size_bytes=0)
+            else:
+                network.send("n1", "n0", "PING", None, size_bytes=0)
+                injector.schedule([CrashEvent("n0", crash_at=1.0)])
+            loop.run_until_idle()
+            outcomes.append(list(delivered))
+        assert outcomes[0] == outcomes[1] == []

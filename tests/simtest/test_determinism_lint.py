@@ -1,0 +1,94 @@
+"""Source-level determinism audit.
+
+The ISSUE-3 audit of bare ``random`` / ``time.time()`` usage found every
+stochastic choice already routed through ``sim.rng`` / ``sim.Clock``
+(the PR 1/2 refactors left nothing loose).  This lint pins that state:
+any future module that reaches for wall-clock time or process-global
+randomness — either of which would silently break seeded replay — fails
+tier-1 instead of surfacing as an unreproducible chaos run.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Modules allowed to *touch* the stdlib ``random`` module: the seeded
+#: fan-out wrapper itself, and the one module that type-annotates
+#: ``random.Random`` parameters fed from it.
+RANDOM_IMPORT_ALLOWLIST = {"sim/rng.py", "workloads/generator.py"}
+
+#: Modules allowed to *call* ``random.*`` functions (constructing the
+#: seeded streams counts; drawing from the global RNG never does).
+RANDOM_CALL_ALLOWLIST = {"sim/rng.py"}
+
+#: Wall-clock sources that would desynchronise replay.
+FORBIDDEN_MODULES = {"time", "datetime"}
+
+
+def _modules() -> list[tuple[str, ast.AST]]:
+    out = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        out.append((rel, ast.parse(path.read_text(), filename=rel)))
+    return out
+
+
+class TestNoWallClock:
+    def test_no_time_or_datetime_imports_anywhere(self):
+        offenders = []
+        for rel, tree in _modules():
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Import):
+                    names = {alias.name.split(".")[0] for alias in node.names}
+                elif isinstance(node, ast.ImportFrom):
+                    names = {(node.module or "").split(".")[0]}
+                else:
+                    continue
+                if names & FORBIDDEN_MODULES:
+                    offenders.append(f"{rel}:{node.lineno}")
+        assert offenders == [], (
+            "wall-clock imports break seeded replay; route timing through "
+            f"sim.Clock instead: {offenders}"
+        )
+
+
+class TestNoGlobalRandomness:
+    def test_random_imports_are_allowlisted(self):
+        offenders = []
+        for rel, tree in _modules():
+            if rel in RANDOM_IMPORT_ALLOWLIST:
+                continue
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Import) and any(
+                    alias.name == "random" for alias in node.names
+                ):
+                    offenders.append(f"{rel}:{node.lineno}")
+                if isinstance(node, ast.ImportFrom) and node.module == "random":
+                    offenders.append(f"{rel}:{node.lineno}")
+        assert offenders == [], (
+            "draw through a named SeededRng stream instead of importing "
+            f"random: {offenders}"
+        )
+
+    def test_no_calls_into_the_global_random_module(self):
+        offenders = []
+        for rel, tree in _modules():
+            if rel in RANDOM_CALL_ALLOWLIST:
+                continue
+            for node in ast.walk(tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "random"
+                ):
+                    offenders.append(f"{rel}:{node.lineno} random.{node.func.attr}()")
+        assert offenders == [], f"global-RNG calls are nondeterministic: {offenders}"
+
+    def test_audited_modules_stay_clean(self):
+        """The two modules the issue singled out draw nothing globally."""
+        for rel in ("sharding/coordinator.py", "consensus/mempool.py"):
+            source = (SRC / rel).read_text()
+            assert "import random" not in source, rel
+            assert "time.time(" not in source, rel

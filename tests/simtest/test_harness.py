@@ -1,0 +1,72 @@
+"""The chaos harness end to end: determinism, coverage, both topologies.
+
+Kept at small step counts — the long sweeps live in CI's chaos job; the
+tier-1 contract here is that a seed fully determines a run and that the
+harness exercises the fault vocabulary it advertises.
+"""
+
+from repro.simtest import SimHarness, SimtestConfig
+
+
+def _run(seed: int = 7, steps: int = 50, **kwargs) -> tuple:
+    harness = SimHarness(SimtestConfig(seed=seed, steps=steps, **kwargs))
+    return harness, harness.run()
+
+
+class TestDeterminism:
+    def test_same_seed_is_byte_identical(self):
+        _, first = _run(seed=7, steps=45)
+        _, second = _run(seed=7, steps=45)
+        assert first.schedule.to_json() == second.schedule.to_json()
+        assert first.step_log == second.step_log
+        assert first.invariant_log == second.invariant_log
+        assert first.stats == second.stats
+
+    def test_different_seeds_diverge(self):
+        _, first = _run(seed=7, steps=45)
+        _, second = _run(seed=8, steps=45)
+        assert first.schedule.to_json() != second.schedule.to_json()
+        assert first.step_log != second.step_log
+
+    def test_healthy_run_holds_every_invariant(self):
+        _, report = _run(seed=7, steps=50)
+        assert report.ok
+        assert report.bundle is None
+        assert report.stats["workload"]["committed"] > 10
+
+    def test_at_least_six_invariants_registered(self):
+        harness, report = _run(seed=1, steps=10)
+        assert report.stats["invariants_registered"] >= 6
+        # Every per-step invariant actually ran.
+        for invariant in harness.checker.applicable("step"):
+            assert harness.checker.checks_run.get(invariant.name, 0) > 0
+
+
+class TestTopologies:
+    def test_single_cluster_mode(self):
+        _, report = _run(seed=4, steps=40, single=True)
+        assert report.ok
+        assert report.stats["workload"]["cross"] == 0
+
+    def test_two_shard_mode(self):
+        _, report = _run(seed=4, steps=40, n_shards=2)
+        assert report.ok
+
+
+class TestFaultCoverage:
+    def test_schedule_injects_and_run_survives(self):
+        # A fault-dense run: the plan must contain several families and
+        # the workload must still make progress through all of them.
+        harness, report = _run(seed=13, steps=120, fault_rate=0.3)
+        assert report.ok
+        kinds = {action.kind for action in report.schedule.actions}
+        assert len(kinds & {"crash_node", "partition", "crash_coordinator",
+                            "phase_trap", "net_delay", "time_jump", "burst"}) >= 4
+        assert report.stats["workload"]["committed"] > 20
+
+    def test_quiesce_leaves_no_locks_or_unfinished_2pc(self):
+        harness, report = _run(seed=13, steps=120, fault_rate=0.3)
+        assert report.ok
+        for agent in harness.plane.agents.values():
+            assert agent.active_locks() == []
+            assert agent.unfinished() == []

@@ -1,0 +1,73 @@
+"""Mutation testing: a seeded bug must become a replayable red run.
+
+The harness's value is falsifiability — if a deliberately broken
+protocol survives the checker, the invariants are decorative.  Each test
+monkeypatches one safety mechanism out of the coordinator and asserts
+the registry catches the resulting corruption deterministically, with a
+bundle that replays to the identical failure.
+"""
+
+import pytest
+
+from repro.core.cluster import SmartchainCluster
+from repro.sharding.coordinator import TwoPhaseCoordinator
+from repro.simtest import SimHarness, SimtestConfig
+
+#: A conflict-heavy configuration so rival spends happen early.
+_ADVERSARIAL = dict(steps=80, conflict_rate=0.3, cross_rate=0.6, fault_rate=0.05)
+
+
+class TestDoubleSpendMutation:
+    @pytest.fixture()
+    def blind_guard(self, monkeypatch):
+        """Disable the remote-lock spend oracle: local validation stops
+        seeing 2PC locks, so rival spends of a locked UTXO get through."""
+        monkeypatch.setattr(TwoPhaseCoordinator, "_spend_guard", lambda self, ref: None)
+
+    def test_checker_catches_the_double_spend(self, blind_guard):
+        report = SimHarness(SimtestConfig(seed=7, **_ADVERSARIAL)).run()
+        assert not report.ok
+        first = report.violations[0]
+        assert first.invariant == "no_double_spend"
+        assert "spent by 2 committed txs" in first.detail
+
+    def test_failure_ships_a_replayable_bundle(self, blind_guard):
+        first = SimHarness(SimtestConfig(seed=7, **_ADVERSARIAL)).run()
+        again = SimHarness(SimtestConfig(seed=7, **_ADVERSARIAL)).run()
+        assert first.bundle is not None
+        assert first.bundle.seed == 7
+        assert (first.bundle.invariant, first.bundle.failed_step, first.bundle.detail) == (
+            again.bundle.invariant,
+            again.bundle.failed_step,
+            again.bundle.detail,
+        )
+        assert "--seed 7" in first.bundle.to_json()
+
+    def test_other_seeds_catch_it_too(self, blind_guard):
+        report = SimHarness(SimtestConfig(seed=5, **_ADVERSARIAL)).run()
+        assert not report.ok
+        assert report.violations[0].invariant == "no_double_spend"
+
+
+class TestReplicaDriftMutation:
+    def test_unretired_utxo_is_caught(self, monkeypatch):
+        """Commit decisions that stop retiring the spent UTXO leave every
+        origin replica with a ghost spendable output — the replica
+        consistency check (or the double-spend check, once something
+        spends the ghost) must go red."""
+        monkeypatch.setattr(
+            SmartchainCluster, "consume_outputs", lambda self, refs: None
+        )
+        report = SimHarness(SimtestConfig(seed=7, **_ADVERSARIAL)).run()
+        assert not report.ok
+        assert report.violations[0].invariant in (
+            "replica_utxo_consistency",
+            "no_double_spend",
+        )
+
+
+class TestHealthyBaseline:
+    def test_unmutated_run_is_green(self):
+        """The adversarial mix itself is clean — red needs a real bug."""
+        report = SimHarness(SimtestConfig(seed=7, **_ADVERSARIAL)).run()
+        assert report.ok

@@ -1,0 +1,94 @@
+"""Fault-plan generation: determinism, pairing discipline, serialization."""
+
+import json
+
+from repro.sim.rng import SeededRng
+from repro.simtest.plane import FaultPlane
+from repro.simtest.schedule import FaultAction, Schedule, ScheduleGenerator
+from repro.sharding.cluster import ShardedCluster, ShardedClusterConfig
+
+
+def _plane(n_shards: int = 2) -> FaultPlane:
+    return FaultPlane(ShardedCluster(ShardedClusterConfig(n_shards=n_shards, seed=9)))
+
+
+def _generate(seed: int = 9, steps: int = 300, fault_rate: float = 0.25) -> Schedule:
+    plane = _plane()
+    return ScheduleGenerator(SeededRng(seed), plane, fault_rate).generate(steps)
+
+
+class TestGeneration:
+    def test_same_seed_same_plan(self):
+        assert _generate(seed=9).to_json() == _generate(seed=9).to_json()
+
+    def test_different_seed_different_plan(self):
+        assert _generate(seed=9).to_json() != _generate(seed=10).to_json()
+
+    def test_every_fault_is_paired_with_its_repair(self):
+        schedule = _generate(steps=400)
+        pairs = {
+            "crash_node": "recover_node",
+            "partition": "heal",
+            "crash_coordinator": "recover_coordinator",
+            "phase_trap": "trap_clear",
+            "net_delay": "net_calm",
+        }
+        for fault_kind, repair_kind in pairs.items():
+            faults = [a for a in schedule.actions if a.kind == fault_kind]
+            repairs = [a for a in schedule.actions if a.kind == repair_kind]
+            assert len(faults) == len(repairs), fault_kind
+            for fault in faults:
+                match = [
+                    r for r in repairs
+                    if r.step > fault.step
+                    and r.shard == fault.shard
+                    and r.node == fault.node
+                ]
+                assert match, f"{fault_kind} at step {fault.step} never repaired"
+
+    def test_at_most_one_disruption_per_shard(self):
+        """Node crashes and partitions never stack on one shard — the
+        schedule must keep every BFT quorum able to make progress."""
+        schedule = _generate(steps=400, fault_rate=0.5)
+        open_disruption: dict[str, str] = {}
+        for action in sorted(schedule.actions, key=lambda a: (a.step,)):
+            if action.kind in ("crash_node", "partition"):
+                assert action.shard not in open_disruption
+                open_disruption[action.shard] = action.kind
+            elif action.kind in ("recover_node", "heal"):
+                open_disruption.pop(action.shard, None)
+
+    def test_fault_rate_zero_is_an_empty_plan(self):
+        assert _generate(fault_rate=0.0).actions == []
+
+    def test_single_cluster_plans_skip_coordinator_faults(self):
+        from repro.core.cluster import ClusterConfig, SmartchainCluster
+
+        plane = FaultPlane(SmartchainCluster(ClusterConfig(seed=9)))
+        schedule = ScheduleGenerator(SeededRng(9), plane, 0.5).generate(300)
+        kinds = {action.kind for action in schedule.actions}
+        assert not kinds & {"crash_coordinator", "recover_coordinator", "phase_trap"}
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        schedule = _generate()
+        clone = Schedule.from_json(schedule.to_json())
+        assert clone.to_json() == schedule.to_json()
+        assert clone.actions == schedule.actions
+
+    def test_canonical_json_is_stable(self):
+        text = _generate().to_json()
+        data = json.loads(text)
+        assert json.dumps(data, sort_keys=True, separators=(",", ":")) == text
+
+    def test_describe_renders_args(self):
+        action = FaultAction(3, "net_delay", shard="shard-1", arg=0.0125)
+        assert action.describe() == "net_delay shard=shard-1 arg=0.012500"
+        trap = FaultAction(4, "phase_trap", arg="commit_pending")
+        assert "arg=commit_pending" in trap.describe()
+
+    def test_lookup_by_step(self):
+        schedule = Schedule(1, 10, [FaultAction(2, "time_jump", arg=0.5)])
+        assert schedule.at(2)[0].kind == "time_jump"
+        assert schedule.at(3) == []

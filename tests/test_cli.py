@@ -12,7 +12,7 @@ class TestParser:
 
     def test_known_commands(self):
         parser = build_parser()
-        for command in ("info", "demo", "compare", "workload"):
+        for command in ("info", "demo", "compare", "workload", "shard", "simtest"):
             args = parser.parse_args([command])
             assert callable(args.func)
 
@@ -35,3 +35,12 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "RETURN" in out
         assert "eventual commit holds: True" in out
+
+    def test_simtest(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["simtest", "--seed", "3", "--steps", "25", "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "all invariants held" in out
+        assert (tmp_path / "SIMTEST_schedule.json").exists()
+        assert (tmp_path / "SIMTEST_invariants.log").exists()
+        assert not (tmp_path / "SIMTEST_repro.json").exists()
