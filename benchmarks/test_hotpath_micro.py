@@ -10,12 +10,16 @@ rewired, each against a faithful re-implementation of the previous
 * **insert throughput** into an ordered index — the previous flat
   ``list.insert`` O(n) sorted index vs the blocked two-level structure;
 * **end-to-end commit latency** through the validation pipeline
-  (receiver validate + 4x CheckTx + DeliverTx) — with and without the
-  verification cache and transaction byte memos.
+  (receiver validate + 4x CheckTx + DeliverTx) — the cache-free seed
+  configuration (no verification cache, no cluster-wide signature cache)
+  against the production path with both caches on;
+* **mempool reaping** — the seed head-pop loop (fresh ``items()`` view
+  iterator + key re-hash per transaction, per-transaction dedup-window
+  trims) against the ``popitem``-based reap with batched window upkeep.
 
 Results are written to ``BENCH_hotpath.json`` at the repo root so the
-perf trajectory is tracked across PRs.  The acceptance gate asserts the
-compiled/zero-copy read path clears 3x the interpreted baseline.
+perf trajectory is tracked across PRs.  The acceptance gates double as
+the CI perf-regression floor: query >= 4x, commit >= 4x (ISSUE 4).
 """
 
 from __future__ import annotations
@@ -26,10 +30,13 @@ import os
 import time
 from typing import Any
 
+from repro.consensus.mempool import Mempool
+from repro.consensus.types import TxEnvelope
 from repro.core.builders import build_create
 from repro.core.context import ValidationContext
 from repro.core.validation import TransactionValidator
 from repro.crypto.keys import ReservedAccounts, keypair_from_string
+from repro.crypto.sigcache import SignatureCache, set_shared_cache
 from repro.common.encoding import deep_copy_json
 from repro.storage.collection import Collection
 from repro.storage.compiler import clear_cache
@@ -42,6 +49,9 @@ N_DOCUMENTS = 10_000
 N_QUERIES = 2_000
 N_INDEX_INSERTS = 30_000
 N_COMMIT_TXS = 60
+N_MEMPOOL_TXS = 24_000
+MEMPOOL_BLOCK_TXS = 32
+MEMPOOL_BLOCK_WEIGHT = 64
 
 
 # -- baselines: the previous implementations, verbatim ------------------------
@@ -194,21 +204,28 @@ def measure_commit_latency() -> dict[str, float]:
         for number in range(N_COMMIT_TXS)
     ]
 
-    def pipeline(verification_cache: bool) -> float:
+    def pipeline(verification_cache: bool, signature_cache: bool) -> float:
         database = make_smartchaindb_database("bench")
         reserved = ReservedAccounts(escrow=keypair_from_string("escrow"))
         ctx = ValidationContext(database, reserved)
         validator = TransactionValidator(verification_cache=verification_cache)
-        start = time.perf_counter()
-        for payload in payloads:
-            validator.validate(ctx, payload)          # receiver node
-            for _ in range(4):
-                assert validator.check_tx(payload)    # validator CheckTx
-            validator.validate_semantics(ctx, payload)  # DeliverTx
-        return time.perf_counter() - start
+        # The cluster-wide signature cache is process-global; pin it to a
+        # known state per phase so neither the seed baseline nor earlier
+        # tests in the session leak verdicts into the measurement.
+        previous = set_shared_cache(SignatureCache() if signature_cache else None)
+        try:
+            start = time.perf_counter()
+            for payload in payloads:
+                validator.validate(ctx, payload)          # receiver node
+                for _ in range(4):
+                    assert validator.check_tx(payload)    # validator CheckTx
+                validator.validate_semantics(ctx, payload)  # DeliverTx
+            return time.perf_counter() - start
+        finally:
+            set_shared_cache(previous)
 
-    uncached_s = pipeline(verification_cache=False)
-    cached_s = pipeline(verification_cache=True)
+    uncached_s = pipeline(verification_cache=False, signature_cache=False)
+    cached_s = pipeline(verification_cache=True, signature_cache=True)
     return {
         "transactions": N_COMMIT_TXS,
         "uncached_ms_per_tx": round(1000 * uncached_s / N_COMMIT_TXS, 3),
@@ -217,11 +234,88 @@ def measure_commit_latency() -> dict[str, float]:
     }
 
 
+def measure_mempool_reap() -> dict[str, float]:
+    def envelope(number: int) -> TxEnvelope:
+        # ~2% of transactions are heavier than the block weight limit, so
+        # both implementations exercise their oversized-skip path.
+        weight = 100 if number % 50 == 0 else 1
+        return TxEnvelope(
+            tx_id=f"{number:032d}", payload={}, size_bytes=100, weight=weight
+        )
+
+    def fill() -> Mempool:
+        pool = Mempool(capacity=N_MEMPOOL_TXS + 10)
+        for number in range(N_MEMPOOL_TXS):
+            pool.add(envelope(number))
+        return pool
+
+    def seed_reap(pool: Mempool, max_txs: int, max_weight: int) -> list[TxEnvelope]:
+        """The previous reap, verbatim: fresh items() iterator and key
+        re-hash per transaction, dedup-window trim per reaped id."""
+        batch: list[TxEnvelope] = []
+        weight = 0
+        skipped: list[TxEnvelope] = []
+        while pool._pool:
+            if len(batch) >= max_txs:
+                break
+            tx_id, item = next(iter(pool._pool.items()))
+            if weight + item.weight > max_weight:
+                if item.weight > max_weight:
+                    pool._pool.pop(tx_id)
+                    skipped.append(item)
+                    continue
+                break
+            pool._pool.pop(tx_id)
+            batch.append(item)
+            weight += item.weight
+        for item in skipped:
+            pool._pool[item.tx_id] = item
+        for item in batch:
+            pool._seen[item.tx_id] = None
+            pool._seen.move_to_end(item.tx_id)
+            while len(pool._seen) > pool.seen_capacity:
+                pool._seen.popitem(last=False)
+        return batch
+
+    def drain(pool: Mempool, reap) -> int:
+        total = 0
+        while True:
+            batch = reap(pool, MEMPOOL_BLOCK_TXS, MEMPOOL_BLOCK_WEIGHT)
+            if not batch:
+                return total
+            total += len(batch)
+
+    # Best-of-3 per implementation: a full drain is tens of milliseconds,
+    # where scheduler noise would otherwise dominate a CI gate.
+    seed_s = new_s = float("inf")
+    for _ in range(3):
+        seed_pool, new_pool = fill(), fill()
+        seed_s = min(seed_s, timed(lambda: drain(seed_pool, seed_reap)))
+        new_s = min(
+            new_s,
+            timed(
+                lambda: drain(
+                    new_pool, lambda pool, txs, wt: pool.reap(max_txs=txs, max_weight=wt)
+                )
+            ),
+        )
+        # Both implementations must reap the same transactions — the fix
+        # is pure mechanics, not policy.
+        assert seed_pool.pending_ids() == new_pool.pending_ids()
+    return {
+        "transactions": N_MEMPOOL_TXS,
+        "seed_reap_ms": round(seed_s * 1000, 2),
+        "reap_ms": round(new_s * 1000, 2),
+        "speedup": round(seed_s / new_s, 2),
+    }
+
+
 def test_hotpath_micro():
     report = {
         "query_throughput": measure_query_throughput(),
         "insert_throughput": measure_insert_throughput(),
         "commit_latency": measure_commit_latency(),
+        "mempool_reap": measure_mempool_reap(),
     }
     with open(BENCH_PATH, "w") as handle:
         json.dump(report, handle, indent=2)
@@ -232,13 +326,15 @@ def test_hotpath_micro():
         lines.append(f"  {section}: " + ", ".join(f"{k}={v}" for k, v in numbers.items()))
     print("\n".join(lines))
 
-    # Acceptance gate: compiled + zero-copy reads clear 3x the
-    # interpreted/deep-copy baseline on the 10k-document indexed workload.
-    assert report["query_throughput"]["speedup"] >= 3.0, report["query_throughput"]
-    # Regression guards for the other two paths (conservative bounds;
-    # typical measured speedups are far higher).
+    # Perf-regression floors (ISSUE 4): the CI perf smoke job fails when
+    # these drop, so a PR cannot silently give the speedups back.
+    assert report["query_throughput"]["speedup"] >= 4.0, report["query_throughput"]
+    assert report["commit_latency"]["speedup"] >= 4.0, report["commit_latency"]
+    # Conservative bounds for the remaining paths (typical measurements
+    # are far higher; reap is a micro-fix, so the floor only guards
+    # against regressing below the seed implementation).
     assert report["insert_throughput"]["speedup"] >= 1.5, report["insert_throughput"]
-    assert report["commit_latency"]["speedup"] >= 1.5, report["commit_latency"]
+    assert report["mempool_reap"]["speedup"] >= 1.0, report["mempool_reap"]
 
 
 if __name__ == "__main__":

@@ -18,8 +18,9 @@ threshold discussion in Section 4.2.1.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable
 
 from repro.consensus.abci import Application
 from repro.consensus.mempool import Mempool
@@ -52,6 +53,9 @@ class BftConfig:
     propose_timeout: float = 1.0
     min_block_interval: float = 0.0
     vote_size_bytes: int = 128
+    #: Bound on the per-validator CheckTx verdict memo (see
+    #: ``Validator.check_tx_cached``).
+    check_memo_size: int = 4096
 
 
 @dataclass
@@ -87,9 +91,30 @@ class Validator:
         self._precommitted: set[tuple[int, int]] = set()
         self._committed_ids: set[str] = set()
         self._proposed_rounds: set[tuple[int, int]] = set()
+        #: Tendermint lock rule: once this validator observes a prevote
+        #: quorum (polka) for a block, it locks on it — later rounds at
+        #: the same height prevote NIL against any *different* block, and
+        #: the lock only moves to a block with a newer polka.  Without it,
+        #: two rounds at one height can each assemble a quorum for a
+        #: different block and fork the chain (found by the chaos harness
+        #: once lane-parallel validation tightened the vote races).  Like
+        #: Tendermint's write-ahead consensus state, the lock survives
+        #: crashes — a recovering validator that forgot it could join a
+        #: second quorum and recreate the fork.
+        self._locked_round = -1
+        self._locked_block: Block | None = None
         self._timeout_handle: EventHandle | None = None
         self._last_propose_time = float("-inf")
         self._catchup_requested_at = float("-inf")
+        #: CheckTx verdict memo: tx_id -> (payload object, verdict).  A hit
+        #: requires the memoised payload to be the *same object* (``is``)
+        #: as the envelope's — the same identity guard the validation
+        #: cache uses, so a forged body reusing a known id re-validates
+        #: instead of riding a cached verdict.  Admission already ran
+        #: CheckTx on every transaction, so proposal assembly and block
+        #: validation become memo lookups.
+        self._check_memo: "OrderedDict[str, tuple[Any, bool]]" = OrderedDict()
+        self.check_stats = {"calls": 0, "memo_hits": 0, "app_checks": 0}
 
     # -- helpers ---------------------------------------------------------------
 
@@ -112,11 +137,61 @@ class Validator:
         order = self.engine.validator_order
         return order[(height + round_number) % len(order)] == self.node_id
 
+    # -- batched application checks ---------------------------------------------
+
+    def check_tx_cached(self, envelope: TxEnvelope) -> bool:
+        """``app.check_tx`` behind the bounded identity-guarded memo."""
+        return self._check_batch([envelope])[0]
+
+    def _check_batch(self, envelopes: list[TxEnvelope]) -> list[bool]:
+        """Memoised verdicts for many envelopes, batch-checking the misses.
+
+        Misses go through the application's optional ``check_block`` hook
+        (batched signature verification) when it exists, else through
+        per-envelope ``check_tx``.
+        """
+        self.check_stats["calls"] += len(envelopes)
+        memo = self._check_memo
+        verdicts: list[bool | None] = [None] * len(envelopes)
+        misses: list[int] = []
+        for index, envelope in enumerate(envelopes):
+            entry = memo.get(envelope.tx_id)
+            if entry is not None and entry[0] is envelope.payload:
+                memo.move_to_end(envelope.tx_id)
+                self.check_stats["memo_hits"] += 1
+                verdicts[index] = entry[1]
+            else:
+                misses.append(index)
+        if misses:
+            self.check_stats["app_checks"] += len(misses)
+            check_block = getattr(self.app, "check_block", None)
+            if check_block is not None and len(misses) > 1:
+                fresh = check_block([envelopes[index] for index in misses])
+            else:
+                fresh = [self.app.check_tx(envelopes[index]) for index in misses]
+            limit = self.engine.config.check_memo_size
+            for index, verdict in zip(misses, fresh):
+                envelope = envelopes[index]
+                verdicts[index] = verdict
+                memo[envelope.tx_id] = (envelope.payload, verdict)
+                memo.move_to_end(envelope.tx_id)
+            while len(memo) > limit:
+                memo.popitem(last=False)
+        return [bool(verdict) for verdict in verdicts]
+
+    def _block_validation_cost(self, envelopes: list[TxEnvelope]) -> float:
+        """Simulated block-validation seconds: lane-parallel when the
+        application schedules conflict-free lanes, serial sum otherwise."""
+        hook = getattr(self.app, "block_validation_cost", None)
+        if hook is not None:
+            return hook(envelopes)
+        return sum(self.app.execution_cost(envelope) for envelope in envelopes)
+
     # -- transaction intake ------------------------------------------------------
 
     def submit_transaction(self, envelope: TxEnvelope, gossip: bool = True) -> bool:
         """Receiver-node intake: admit locally, then gossip to peers."""
-        if not self.app.check_tx(envelope):
+        if not self.check_tx_cached(envelope):
             return False
         if envelope.tx_id in self._committed_ids:
             return False
@@ -142,6 +217,24 @@ class Validator:
             return
         if not self.is_proposer(self.height, self.round):
             return
+        if self._locked_block is not None and self._locked_block.height == self.height:
+            # Locked proposer: re-propose the locked *value* at the
+            # current round — same parent and transactions, hence the same
+            # value-based block id, so peers locked on it prevote it and
+            # a fresh round can finish what the interrupted one started.
+            # Proposing new content here would deadlock against the lock.
+            locked = self._locked_block
+            block = Block.build(
+                self.height,
+                self.round,
+                self.node_id,
+                list(locked.transactions),
+                locked.previous_id,
+            )
+            self._proposed_rounds.add((self.height, self.round))
+            self._last_propose_time = self._loop.clock.now
+            self._loop.schedule_in(0.0, lambda: self._publish_proposal(block))
+            return
         if len(self.mempool) == 0:
             return
         now = self._loop.clock.now
@@ -162,8 +255,9 @@ class Validator:
         self._proposed_rounds.add((self.height, self.round))
         self._last_propose_time = now
         # Proposer pays block assembly/execution cost before the proposal
-        # hits the wire (Quorum executes transactions while building).
-        assembly_cost = sum(self.app.execution_cost(envelope) for envelope in batch)
+        # hits the wire (Quorum executes transactions while building);
+        # conflict-free transactions execute in parallel lanes.
+        assembly_cost = self._block_validation_cost(batch)
         self._loop.schedule_in(
             assembly_cost,
             lambda: self._publish_proposal(block),
@@ -184,7 +278,7 @@ class Validator:
             envelope: TxEnvelope = message.payload
             if envelope.tx_id not in self._committed_ids:
                 try:
-                    if self.app.check_tx(envelope):
+                    if self.check_tx_cached(envelope):
                         self.mempool.add(envelope)
                         self._kick_proposer()
                 except Exception:
@@ -205,16 +299,41 @@ class Validator:
         if block.height > self.height:
             self._request_catchup(block.proposer)
             return
+        if block.round > self.round:
+            # Round join: a proposal from a later round is proof the
+            # cluster moved on; vote there instead of splitting quorums
+            # across rounds.
+            self.round = block.round
+        elif block.round < self.round and not (
+            self._locked_block is not None
+            and self._locked_block.block_id == block.block_id
+        ):
+            # Stale round: never prevote it (two live rounds at one height
+            # is how a height forks), unless it is exactly our locked
+            # block — those prevotes top up the bucket the lock came from.
+            return
         self._schedule_round_timeout()
         key = (block.height, block.round)
         if key in self._prevoted:
             return
         self._prevoted.add(key)
         # Validation compute before prevoting: every peer re-validates the
-        # block's transactions (the paper's second validation set).
-        validation_cost = sum(self.app.execution_cost(envelope) for envelope in block.transactions)
-        valid = all(self.app.check_tx(envelope) for envelope in block.transactions)
+        # block's transactions (the paper's second validation set).  The
+        # simulated charge packs conflict-free transactions into parallel
+        # lanes; the real compute runs signature checks batch-first and
+        # memo-skips transactions this node already admitted.
+        validation_cost = self._block_validation_cost(block.transactions)
+        valid = all(self._check_batch(block.transactions))
         block_id = block.block_id if valid else NIL
+        if (
+            block_id != NIL
+            and self._locked_block is not None
+            and self._locked_block.height == block.height
+            and self._locked_block.block_id != block.block_id
+        ):
+            # Locked on a different block at this height: refuse to help a
+            # second quorum form (the lock rule's safety half).
+            block_id = NIL
 
         def send_prevote() -> None:
             if self.engine.network.is_crashed(self.node_id):
@@ -243,6 +362,36 @@ class Validator:
 
     def _on_prevote_quorum(self, vote: Vote) -> None:
         key = (vote.height, vote.round)
+        if (
+            vote.height == self.height
+            and vote.round >= self._locked_round
+            and (
+                vote.round >= self.round
+                or (
+                    self._locked_block is not None
+                    and self._locked_block.block_id == vote.block_id
+                )
+            )
+        ):
+            # A polka at (or refreshing) the current state: adopt the
+            # lock.  Only a later polka may move it to a different block,
+            # and a polka from an abandoned round never *creates* a lock —
+            # adopting one would precommit a value the node already voted
+            # past, the other entrance to the height-fork race.
+            proposal = self._proposals.get(key)
+            if proposal is not None and proposal.block_id == vote.block_id:
+                self._locked_block = proposal
+                self._locked_round = vote.round
+        if (
+            self._locked_block is None
+            or self._locked_block.block_id != vote.block_id
+        ):
+            # Precommit only what this node is locked on: a stale polka
+            # for an abandoned value, or one whose proposal never arrived
+            # (so no lock could form), earns no precommit — an unlocked
+            # precommitter is free to help a rival quorum later, which is
+            # the height-fork race all over again.
+            return
         if key not in self._precommitted:
             self._precommitted.add(key)
             precommit = Vote(PRECOMMIT, vote.height, vote.round, vote.block_id, self.node_id)
@@ -309,6 +458,10 @@ class Validator:
         self.last_block_id = block.block_id
         self.height = block.height + 1
         self.round = 0
+        if self._locked_block is not None and self._locked_block.height <= block.height:
+            # The locked height is decided (by this block or catch-up).
+            self._locked_block = None
+            self._locked_round = -1
         self._committed_ids.update(envelope.tx_id for envelope in block.transactions)
         self.mempool.remove([envelope.tx_id for envelope in block.transactions])
         self._gc_consensus_state(block.height)
@@ -400,8 +553,15 @@ class Validator:
     # -- crash hooks ---------------------------------------------------------------
 
     def on_crash(self) -> None:
-        """Volatile state is lost; durable chain/app state survives."""
+        """Volatile state is lost; durable chain/app state survives.
+
+        The round lock (``_locked_block``/``_locked_round``) deliberately
+        survives: it is write-ahead consensus state, and forgetting it on
+        recovery would let this validator join a second quorum at its
+        locked height.
+        """
         self.mempool.flush_volatile()
+        self._check_memo.clear()
         self._proposals.clear()
         self._votes.clear()
         self._prevoted.clear()

@@ -44,12 +44,15 @@ class Mempool:
         """Resident dedup-memory entries (bounded by ``seen_capacity``)."""
         return len(self._seen)
 
-    def _remember(self, tx_id: str) -> None:
-        """Record a reaped/committed id, evicting the oldest past the cap."""
-        self._seen[tx_id] = None
-        self._seen.move_to_end(tx_id)
-        while len(self._seen) > self.seen_capacity:
-            self._seen.popitem(last=False)
+    def _remember(self, tx_ids) -> None:
+        """Record reaped/committed ids, then trim the window once for the
+        whole batch (ids arrive a block at a time)."""
+        seen = self._seen
+        for tx_id in tx_ids:
+            seen[tx_id] = None
+            seen.move_to_end(tx_id)
+        while len(seen) > self.seen_capacity:
+            seen.popitem(last=False)
 
     def add(self, envelope: TxEnvelope) -> bool:
         """Admit an envelope.
@@ -78,27 +81,33 @@ class Mempool:
         ``max_weight`` is skipped (left pooled) rather than blocking the
         queue — mirroring a block gas limit.
         """
+        # The head pop is a single C-level ``popitem(last=False)``; the
+        # previous implementation materialised a fresh ``items()`` view
+        # iterator and re-hashed the head id per reaped transaction.  The
+        # dedup-window bookkeeping moved out of the loop: ids are recorded
+        # in one pass and the window trimmed once per reap, not per tx.
         batch: list[TxEnvelope] = []
         weight = 0
         skipped: list[TxEnvelope] = []
-        while self._pool:
+        pool = self._pool
+        while pool:
             if max_txs is not None and len(batch) >= max_txs:
                 break
-            tx_id, envelope = next(iter(self._pool.items()))
+            tx_id, envelope = pool.popitem(last=False)
             if max_weight is not None and weight + envelope.weight > max_weight:
                 if envelope.weight > max_weight:
                     # Individually oversized: set aside so the rest can flow.
-                    self._pool.pop(tx_id)
                     skipped.append(envelope)
                     continue
+                # Doesn't fit this block: back to the head, stop reaping.
+                pool[tx_id] = envelope
+                pool.move_to_end(tx_id, last=False)
                 break
-            self._pool.pop(tx_id)
             batch.append(envelope)
             weight += envelope.weight
         for envelope in skipped:
-            self._pool[envelope.tx_id] = envelope
-        for envelope in batch:
-            self._remember(envelope.tx_id)
+            pool[envelope.tx_id] = envelope
+        self._remember(envelope.tx_id for envelope in batch)
         self.stats["reaped"] += len(batch)
         return batch
 
@@ -134,7 +143,7 @@ class Mempool:
         """Drop transactions that were committed via another node's block."""
         for tx_id in tx_ids:
             self._pool.pop(tx_id, None)
-            self._remember(tx_id)
+        self._remember(tx_ids)
 
     def flush_volatile(self) -> None:
         """Simulate a crash: resident transactions are lost, dedup memory

@@ -43,12 +43,19 @@ class Block:
         transactions: list[TxEnvelope],
         previous_id: str,
     ) -> "Block":
-        """Construct a block, deriving its content-addressed id."""
+        """Construct a block, deriving its content-addressed id.
+
+        The id is a *value* identity — height, parent, and transaction
+        list — deliberately excluding the round and proposer.  A block
+        re-proposed in a later round (the Tendermint lock rule's liveness
+        path) or independently assembled by two proposers with identical
+        content is the *same* block: votes may split across round buckets
+        but every replica that commits it records one id and reaches one
+        state.
+        """
         block_id = hash_document(
             {
                 "height": height,
-                "round": round_number,
-                "proposer": proposer,
                 "previous": previous_id,
                 "txs": [envelope.tx_id for envelope in transactions],
             }

@@ -56,6 +56,10 @@ class ClusterConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     cost_model: ServerCostModel = field(default_factory=ServerCostModel)
     indexed_storage: bool = True
+    #: Parallel conflict-free validation lanes per node (1 = serial); the
+    #: declarative access sets make the partition exact, so lanes change
+    #: block-validation time, never verdicts.
+    validation_lanes: int = 4
     #: Register the INTEREST / PRE_REQUEST extension types on every node.
     enable_extensions: bool = False
     #: Delay before nested-transaction workers pick up queued RETURNs.
@@ -89,6 +93,11 @@ class SmartchainCluster:
                 clock=self.loop.clock,
                 cost_model=self.config.cost_model,
                 indexed_storage=self.config.indexed_storage,
+                # One shared named stream: batch-verify coefficients are
+                # the only randomness crypto consumes, and routing it
+                # through the cluster seed keeps replays byte-identical.
+                rng=self.rng.stream("crypto-batch"),
+                validation_lanes=self.config.validation_lanes,
             )
             if self.config.enable_extensions:
                 from repro.core.extensions import register_marketplace_extensions

@@ -18,6 +18,8 @@ from typing import Any, Protocol
 from repro.common.errors import SchemaValidationError, ValidationError
 from repro.core.context import ValidationContext
 from repro.core.transaction import Transaction
+from repro.crypto import sigcache
+from repro.crypto.keys import verify_signatures_batch
 from repro.core.types import (
     AcceptBidValidator,
     BidValidator,
@@ -181,6 +183,51 @@ class TransactionValidator:
         """Both phases in order (receiver-node validation of Fig. 4)."""
         self.validate_schema(payload)
         return self.validate_semantics(ctx, payload)
+
+    def check_block(self, payloads: list[dict[str, Any]], rng: Any = None) -> list[bool]:
+        """Block-grade :meth:`check_tx`: verify signatures batch-first.
+
+        Every signature of every uncached payload in the block is settled
+        through one random-linear-combination batch check (seeding the
+        cluster-wide signature cache), and only then do the per-payload
+        checks run — their per-signature verifications become cache hits.
+        Verdicts match per-payload ``check_tx`` exactly; a bad signature
+        anywhere in the block falls back to independent verification, so
+        it can neither veto nor ride along with its batchmates.
+
+        Args:
+            payloads: the block's transaction payloads, in block order.
+            rng: optional ``getrandbits`` provider for the batch
+                coefficients (a seeded ``sim.rng`` stream).
+        """
+        cache = self.verification_cache
+        verdicts: list[bool | None] = [None] * len(payloads)
+        parsed: list[tuple[int, Transaction]] = []
+        triples: list[tuple[str, bytes, str]] = []
+        for index, payload in enumerate(payloads):
+            try:
+                self.validate_schema(payload)
+                if cache is not None and cache.check(payload):
+                    verdicts[index] = True
+                    continue
+                transaction = Transaction.from_dict(payload)
+                if not transaction.verify_id():
+                    verdicts[index] = False
+                    continue
+                parsed.append((index, transaction))
+                triples.extend(transaction.signature_items())
+            except (SchemaValidationError, ValidationError):
+                verdicts[index] = False
+        # Batch pre-pass only pays off when the verdicts can be handed to
+        # the per-signature checks through the shared cache.
+        if triples and sigcache.shared_cache() is not None:
+            verify_signatures_batch(triples, rng=rng)
+        for index, transaction in parsed:
+            signatures_ok = transaction.verify_signatures()
+            verdicts[index] = signatures_ok
+            if signatures_ok and cache is not None:
+                cache.record(payloads[index])
+        return [bool(verdict) for verdict in verdicts]
 
     def check_tx(self, payload: dict[str, Any]) -> bool:
         """Mempool-grade stateless check (schema + id + signatures).

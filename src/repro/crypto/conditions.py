@@ -119,6 +119,16 @@ class Fulfillment:
             raise SchemaValidationError("fulfillment.signatures must be a mapping", "fulfillment")
         return cls(signatures=dict(signatures))
 
+    def signature_items(self, condition: Condition, message: bytes) -> list[tuple[str, bytes, str]]:
+        """The ``(public_key, message, signature)`` triples :meth:`satisfies`
+        would verify — the unit the batched validation pipeline collects
+        across a whole block and settles in one batch check."""
+        return [
+            (public_key, message, self.signatures[public_key])
+            for public_key in condition.public_keys
+            if public_key in self.signatures
+        ]
+
     def satisfies(self, condition: Condition, message: bytes) -> bool:
         """Check whether this fulfillment satisfies ``condition``.
 

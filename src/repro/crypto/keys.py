@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.common.encoding import base58_decode, base58_encode
 from repro.common.errors import InvalidKeyError
-from repro.crypto import ed25519
+from repro.crypto import ed25519, sigcache
 
 
 @dataclass(frozen=True)
@@ -66,13 +66,81 @@ def verify_signature(public_key: str, message: bytes, signature: str) -> bool:
     """Verify a base58-encoded signature against a base58 public key.
 
     Any decoding failure counts as an invalid signature (returns False).
+    Verdicts flow through the cluster-wide :mod:`repro.crypto.sigcache`
+    when one is installed — a replica never re-verifies a triple another
+    node (or a batch pre-pass) already settled.
     """
+    cache = sigcache.shared_cache()
+    if cache is None:
+        return _verify_signature_uncached(public_key, message, signature)
+    key = cache.key(public_key, message, signature)
+    verdict = cache.get(key)
+    if verdict is None:
+        verdict = _verify_signature_uncached(public_key, message, signature)
+        cache.put(key, verdict)
+    return verdict
+
+
+def _verify_signature_uncached(public_key: str, message: bytes, signature: str) -> bool:
     try:
         public = base58_decode(public_key)
         sig = base58_decode(signature)
     except Exception:
         return False
     return ed25519.verify(public, message, sig)
+
+
+def verify_signatures_batch(
+    items: list[tuple[str, bytes, str]], rng=None
+) -> list[bool]:
+    """Batch-verify base58 ``(public_key, message, signature)`` triples.
+
+    The batch-first half of block validation: triples with a cached
+    verdict are answered from the cluster-wide signature cache, the rest
+    go through :func:`repro.crypto.ed25519.verify_batch` in one
+    random-linear-combination check, and every fresh verdict is written
+    back to the cache — so the per-signature checks that follow (condition
+    thresholds, semantic validators) hit instead of re-verifying.
+
+    Args:
+        items: the triples, in check order.
+        rng: optional ``getrandbits`` provider for the batch coefficients
+            (a seeded ``sim.rng`` stream in the simulator).
+
+    Returns:
+        Per-item verdicts, aligned with ``items``.
+    """
+    cache = sigcache.shared_cache()
+    results: list[bool | None] = [None] * len(items)
+    pending: list[int] = []
+    keys: list[tuple | None] = [None] * len(items)
+    for index, (public_key, message, signature) in enumerate(items):
+        if cache is not None:
+            key = cache.key(public_key, message, signature)
+            keys[index] = key
+            verdict = cache.get(key)
+            if verdict is not None:
+                results[index] = verdict
+                continue
+        pending.append(index)
+    decoded: list[tuple[bytes, bytes, bytes]] = []
+    decodable: list[int] = []
+    for index in pending:
+        public_key, message, signature = items[index]
+        try:
+            decoded.append((base58_decode(public_key), message, base58_decode(signature)))
+            decodable.append(index)
+        except Exception:
+            results[index] = False  # malformed encodings never verify
+    if decoded:
+        for index, verdict in zip(decodable, ed25519.verify_batch(decoded, rng=rng)):
+            results[index] = verdict
+    if cache is not None:
+        for index in pending:
+            key = keys[index]
+            if key is not None:
+                cache.put(key, bool(results[index]))
+    return [bool(verdict) for verdict in results]
 
 
 @dataclass

@@ -133,6 +133,10 @@ class TwoPhaseCoordinator:
         self._acks: dict[str, set[str]] = {}
         self._timers: dict[tuple[str, str], Any] = {}
         self._epoch = 0
+        #: Per-target outbound message queue: every message enqueued for a
+        #: peer within one event-loop tick rides one wire delivery (see
+        #: :meth:`_send`).
+        self._outgoing: dict[str, list[tuple[str, tuple]]] = {}
         #: Observers of protocol-phase transitions (see PhaseListener).
         #: Listeners must not mutate the agent synchronously; schedule
         #: faults through the event loop instead.
@@ -167,17 +171,53 @@ class TwoPhaseCoordinator:
             listener(self.shard_id, phase, tx_id)
 
     def _send(self, target_shard: str, method: str, *args: Any) -> None:
-        """Deliver ``method(*args)`` on the target agent after the
-        inter-shard latency; dropped if the target is down on arrival."""
+        """Queue ``method(*args)`` for the target agent.
+
+        Messages to the same peer enqueued within one event-loop tick are
+        coalesced into a single wire delivery (PREPAREs for every ref of a
+        batch of transactions, the decision fan-out after a block commit)
+        — per-message cost becomes per-batch cost, and the receiver can
+        group-apply what arrives together.  The batch leaves at the tick
+        it was opened and arrives one inter-shard latency later; dropped
+        if the target is down on arrival.
+        """
+        queue = self._outgoing.setdefault(target_shard, [])
+        queue.append((method, args))
+        if len(queue) == 1:
+            # First message this tick: close the batch once the current
+            # event cascade (same simulated instant) has drained.
+            self._loop.schedule_in(0.0, lambda: self._dispatch_batch(target_shard))
+
+    def _dispatch_batch(self, target_shard: str) -> None:
+        """Put one tick's worth of messages for a peer on the wire."""
+        batch = self._outgoing.pop(target_shard, None)
+        if not batch:
+            return
         target = self._peer(target_shard)
         self._loop.schedule_in(
-            self.config.inter_shard_delay, lambda: target._deliver(method, args)
+            self.config.inter_shard_delay, lambda: target._deliver_batch(batch)
         )
 
-    def _deliver(self, method: str, args: tuple) -> None:
+    def _deliver_batch(self, batch: list[tuple[str, tuple]]) -> None:
+        """Arrival of one coalesced wire delivery.
+
+        Messages dispatch strictly in send order — a decision releasing a
+        lock must land before a prepare contending for it, exactly as
+        with unbatched delivery.  Only the decisions' UTXO retirements
+        are deferred and group-committed in one pass at the end; that is
+        order-safe because a later prepare's conflict check consults the
+        lock table (already updated in order), not the UTXO documents.
+        """
         if self.crashed:
-            return  # message lost at a crashed agent
-        getattr(self, method)(*args)
+            return  # the whole batch is lost at a crashed agent
+        committed_refs: list[tuple[str, int]] = []
+        for method, args in batch:
+            if method == "handle_decision":
+                self._apply_decision(*args, committed_refs=committed_refs)
+            else:
+                getattr(self, method)(*args)
+        if committed_refs:
+            self.cluster.consume_outputs(committed_refs)
 
     def _arm(self, kind: str, tx_id: str, delay: float, callback: Callable[[], None]) -> None:
         """Volatile named timer: dies with the arming epoch and must be
@@ -425,8 +465,9 @@ class TwoPhaseCoordinator:
             self._send(coordinator_shard, "handle_vote", tx_id, self.shard_id, False, reason)
             return
         now = self._loop.clock.now
-        for ref in resolved:
-            self._locks.insert_one(
+        # One group-committed write for the transaction's whole lock set.
+        self._locks.insert_many(
+            [
                 {
                     "transaction_id": ref.transaction_id,
                     "output_index": ref.output_index,
@@ -435,7 +476,9 @@ class TwoPhaseCoordinator:
                     "status": "prepared",
                     "locked_at": now,
                 }
-            )
+                for ref in resolved
+            ]
+        )
         self.stats["locks_granted"] += len(resolved)
         self._notify("prepared", tx_id)
         self._arm(
@@ -446,13 +489,33 @@ class TwoPhaseCoordinator:
 
     def handle_decision(self, coordinator_shard: str, tx_id: str, outcome: str) -> None:
         """Apply a coordinator decision to this shard's locks (idempotent)."""
+        committed_refs: list[tuple[str, int]] = []
+        self._apply_decision(coordinator_shard, tx_id, outcome, committed_refs=committed_refs)
+        if committed_refs:
+            self.cluster.consume_outputs(committed_refs)
+
+    def _apply_decision(
+        self,
+        coordinator_shard: str,
+        tx_id: str,
+        outcome: str,
+        committed_refs: list[tuple[str, int]],
+    ) -> None:
+        """Apply one decision to the lock table, deferring UTXO retirement.
+
+        Committed spends append their refs to ``committed_refs`` so the
+        caller can retire a whole wire batch's UTXOs in one
+        :meth:`~repro.core.cluster.SmartchainCluster.consume_outputs`
+        pass (the group-commit write); the acks ride one return delivery
+        per coordinator shard thanks to :meth:`_send`'s coalescing.
+        """
         prepared = self._locks.find({"holder": tx_id, "status": "prepared"})
         if outcome == "committed":
             refs = [(lock["transaction_id"], lock["output_index"]) for lock in prepared]
             if refs:
-                # The spend is decided on the home chain: retire the UTXO
-                # and keep the lock as a permanent spent tombstone.
-                self.cluster.consume_outputs(refs)
+                # The spend is decided on the home chain: retire the
+                # UTXO and keep the lock as a permanent spent tombstone.
+                committed_refs.extend(refs)
                 self._locks.update_many(
                     {"holder": tx_id, "status": "prepared"},
                     {"$set": {"status": "committed"}},

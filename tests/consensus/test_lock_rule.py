@@ -1,0 +1,205 @@
+"""The Tendermint lock rule and value-based block identity.
+
+Found by the chaos harness (seed 606) once lane-parallel validation
+tightened the vote races: a round-0 proposal and a round-1 re-proposal of
+the same single transaction each gathered a quorum, and one replica
+committed the round-0 block while the rest committed the round-1 block —
+a height fork.  Three mechanisms close it, each pinned here:
+
+* **value identity** — a block's id hashes height/parent/transactions,
+  not round or proposer, so cross-round re-proposals of one value cannot
+  fork the id;
+* **round discipline** — a validator joins the newest round it sees,
+  never prevotes a stale-round proposal, and never precommits (or adopts
+  a lock from) a stale polka, except for its own locked block;
+* **the lock** — after observing a polka a validator prevotes NIL against
+  conflicting proposals at that height, re-proposes the locked value when
+  it is the proposer, and keeps the lock across crashes (consensus WAL).
+"""
+
+import hashlib
+
+from repro.consensus.abci import NullApplication, envelope_for
+from repro.consensus.bft import GENESIS_ID
+from repro.consensus.tendermint import make_tendermint_cluster
+from repro.consensus.types import NIL, PREVOTE, Block, Vote
+from repro.sim.events import EventLoop
+from repro.sim.network import Network
+from repro.sim.rng import SeededRng
+
+
+def build_cluster(n=4):
+    loop = EventLoop()
+    network = Network(loop, SeededRng(17))
+    engine = make_tendermint_cluster(
+        loop, network, lambda node_id: NullApplication(), n_validators=n
+    )
+    return loop, engine
+
+
+def envelope(tag: str):
+    tx_id = hashlib.sha3_256(tag.encode()).hexdigest()
+    return envelope_for({"tag": tag}, tx_id, 100)
+
+
+def proposer_for(engine, height, round_number):
+    order = engine.validator_order
+    return order[(height + round_number) % len(order)]
+
+
+class TestValueIdentity:
+    def test_round_and_proposer_do_not_change_the_id(self):
+        txs = [envelope("a"), envelope("b")]
+        first = Block.build(3, 0, "n0", txs, "p" * 64)
+        re_proposed = Block.build(3, 4, "n2", txs, "p" * 64)
+        assert first.block_id == re_proposed.block_id
+
+    def test_content_still_changes_the_id(self):
+        txs = [envelope("a")]
+        base = Block.build(3, 0, "n0", txs, "p" * 64)
+        assert base.block_id != Block.build(4, 0, "n0", txs, "p" * 64).block_id
+        assert base.block_id != Block.build(3, 0, "n0", [envelope("b")], "p" * 64).block_id
+        assert base.block_id != Block.build(3, 0, "n0", txs, "q" * 64).block_id
+
+
+class TestRoundDiscipline:
+    def test_future_round_proposal_joins_the_round(self):
+        loop, engine = build_cluster()
+        validator = engine.validator(engine.validator_order[0])
+        block = Block.build(1, 2, proposer_for(engine, 1, 2), [envelope("x")], GENESIS_ID)
+        validator._handle_proposal(block)
+        assert validator.round == 2
+        assert (1, 2) in validator._prevoted
+
+    def test_stale_round_proposal_is_not_prevoted(self):
+        loop, engine = build_cluster()
+        validator = engine.validator(engine.validator_order[0])
+        validator.round = 1
+        block = Block.build(1, 0, proposer_for(engine, 1, 0), [envelope("x")], GENESIS_ID)
+        validator._handle_proposal(block)
+        assert (1, 0) not in validator._prevoted
+        # The proposal is still stored so a late commit can apply it.
+        assert validator._proposals[(1, 0)] is block
+
+    def test_stale_polka_earns_no_precommit_and_no_lock(self):
+        loop, engine = build_cluster()
+        validator = engine.validator(engine.validator_order[0])
+        block = Block.build(1, 0, proposer_for(engine, 1, 0), [envelope("x")], GENESIS_ID)
+        validator.round = 1  # this node has moved on before the proposal lands
+        validator._handle_proposal(block)
+        for voter in engine.validator_order[1:]:
+            validator._handle_vote(Vote(PREVOTE, 1, 0, block.block_id, voter), voter)
+        loop.run(until=loop.clock.now + 0.01)
+        assert validator._locked_block is None
+        assert (1, 0) not in validator._precommitted
+
+
+class TestLockRule:
+    def lock_via_polka(self, loop, engine, validator, block):
+        validator._handle_proposal(block)
+        loop.run(until=loop.clock.now + 0.01)
+        peers = [n for n in engine.validator_order if n != validator.node_id][:2]
+        for voter in peers:
+            validator._handle_vote(
+                Vote(PREVOTE, block.height, block.round, block.block_id, voter), voter
+            )
+        loop.run(until=loop.clock.now + 0.01)
+
+    def test_polka_locks_and_conflicting_proposal_gets_nil(self):
+        loop, engine = build_cluster()
+        node_id = engine.validator_order[0]
+        validator = engine.validator(node_id)
+        locked = Block.build(1, 0, proposer_for(engine, 1, 0), [envelope("x")], GENESIS_ID)
+        self.lock_via_polka(loop, engine, validator, locked)
+        assert validator._locked_block is not None
+        assert validator._locked_block.block_id == locked.block_id
+
+        # A different value at a later round: this node must prevote NIL.
+        rival = Block.build(1, 1, proposer_for(engine, 1, 1), [envelope("y")], GENESIS_ID)
+        nil_votes = []
+        original = validator._broadcast
+
+        def spy(kind, payload, size):
+            if kind == "VOTE" and payload.phase == PREVOTE and payload.block_id == NIL:
+                nil_votes.append(payload)
+            original(kind, payload, size)
+
+        validator._broadcast = spy
+        validator._handle_proposal(rival)
+        loop.run(until=loop.clock.now + 0.01)
+        assert nil_votes, "locked validator must prevote NIL against a rival value"
+
+    def test_locked_proposer_reproposes_the_locked_value(self):
+        loop, engine = build_cluster()
+        height = 1
+        # Find the validator that proposes (height, round=1).
+        node_id = proposer_for(engine, height, 1)
+        validator = engine.validator(node_id)
+        locked = Block.build(
+            height, 0, proposer_for(engine, height, 0), [envelope("x")], GENESIS_ID
+        )
+        self.lock_via_polka(loop, engine, validator, locked)
+        assert validator._locked_block is not None
+        proposals = []
+        original = validator._broadcast
+
+        def spy(kind, payload, size):
+            if kind == "PROPOSAL":
+                proposals.append(payload)
+            original(kind, payload, size)
+
+        validator._broadcast = spy
+        validator.round = 1
+        validator.maybe_propose()
+        loop.run(until=loop.clock.now + 0.01)
+        assert proposals, "locked proposer must re-propose"
+        # Same value id, fresh round: peers locked on it will prevote it.
+        assert proposals[-1].block_id == locked.block_id
+        assert proposals[-1].round == 1
+
+    def test_lock_survives_crash(self):
+        loop, engine = build_cluster()
+        node_id = engine.validator_order[0]
+        validator = engine.validator(node_id)
+        locked = Block.build(1, 0, proposer_for(engine, 1, 0), [envelope("x")], GENESIS_ID)
+        self.lock_via_polka(loop, engine, validator, locked)
+        assert validator._locked_block is not None
+        validator.on_crash()
+        assert validator._locked_block is not None, "the lock is consensus WAL state"
+
+    def test_lock_clears_when_the_height_commits(self):
+        loop, engine = build_cluster()
+        submitted = envelope("commit-me")
+        for node_id in engine.validator_order:
+            engine.validator(node_id).submit_transaction(submitted, gossip=False)
+        loop.run(until=30.0)
+        assert len(engine.committed_envelopes()) == 1
+        for node_id in engine.validator_order:
+            assert engine.validator(node_id)._locked_block is None
+
+
+class TestNoForkUnderRoundRace:
+    def test_competing_rounds_for_the_same_value_converge(self):
+        """The seed-606 shape: the same transaction proposed at round 0
+        and round 1 must commit as one block id everywhere."""
+        loop, engine = build_cluster()
+        shared = [envelope("contested")]
+        r0 = Block.build(1, 0, proposer_for(engine, 1, 0), shared, GENESIS_ID)
+        r1 = Block.build(1, 1, proposer_for(engine, 1, 1), shared, GENESIS_ID)
+        assert r0.block_id == r1.block_id
+        # Half the cluster sees round 0 first, half sees round 1 first.
+        order = engine.validator_order
+        for node_id in order[:2]:
+            engine.validator(node_id)._handle_proposal(r0)
+            engine.validator(node_id)._handle_proposal(r1)
+        for node_id in order[2:]:
+            engine.validator(node_id)._handle_proposal(r1)
+            engine.validator(node_id)._handle_proposal(r0)
+        loop.run(until=30.0)
+        ids = {
+            node_id: [block.block_id for block in engine.validator(node_id).chain]
+            for node_id in order
+            if engine.validator(node_id).chain
+        }
+        assert ids, "nothing committed"
+        assert len({tuple(chain) for chain in ids.values()}) == 1, ids

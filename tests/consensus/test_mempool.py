@@ -121,6 +121,52 @@ class TestSeenWindow:
             Mempool(seen_capacity=0)
 
 
+class TestReapMechanics:
+    """Regressions for the popitem-based reap (profile-guided micro-fix)."""
+
+    def test_weight_break_leaves_next_tx_at_the_head(self):
+        """A tx that merely doesn't fit this block must stay first in line."""
+        pool = Mempool()
+        pool.add(env("a", weight=6))
+        pool.add(env("b", weight=6))
+        pool.add(env("c", weight=6))
+        assert [e.tx_id for e in pool.reap(max_weight=10)] == ["a"]
+        # "b" was popped to be examined but must be back at the head.
+        assert [e.tx_id for e in pool.reap(max_weight=10)] == ["b"]
+        assert [e.tx_id for e in pool.reap(max_weight=10)] == ["c"]
+
+    def test_oversized_rotation_is_preserved(self):
+        """Skipped-oversized envelopes rotate to the back (seed behaviour),
+        so repeated reaps don't rescan them at the head."""
+        pool = Mempool()
+        pool.add(env("huge", weight=100))
+        pool.add(env("s1", weight=1))
+        pool.add(env("s2", weight=1))
+        assert [e.tx_id for e in pool.reap(max_txs=1, max_weight=10)] == ["s1"]
+        assert pool.pending_ids() == ["s2", "huge"]
+
+    def test_reap_counts_and_window_upkeep(self):
+        pool = Mempool(seen_capacity=4)
+        for index in range(8):
+            pool.add(env(f"t{index}"))
+        batch = pool.reap(max_txs=8)
+        assert len(batch) == 8
+        assert pool.stats["reaped"] == 8
+        # Batched window trim: bounded, retaining the newest ids.
+        assert pool.seen_size() == 4
+        assert not pool.add(env("t7"))
+
+    def test_remove_batch_trims_window_once(self):
+        pool = Mempool(seen_capacity=3)
+        for name in "abcde":
+            pool.add(env(name))
+        pool.remove(list("abcde"))
+        assert len(pool) == 0
+        assert pool.seen_size() == 3
+        for name in "cde":
+            assert not pool.add(env(name))
+
+
 class TestCrashSemantics:
     def test_flush_volatile_loses_pending(self):
         pool = Mempool()

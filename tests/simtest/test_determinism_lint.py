@@ -87,8 +87,39 @@ class TestNoGlobalRandomness:
         assert offenders == [], f"global-RNG calls are nondeterministic: {offenders}"
 
     def test_audited_modules_stay_clean(self):
-        """The two modules the issue singled out draw nothing globally."""
-        for rel in ("sharding/coordinator.py", "consensus/mempool.py"):
+        """Modules past issues singled out draw nothing globally — now
+        including the crypto/batching fast path (ISSUE 4): batch-verify
+        coefficients must come from a passed-in seeded stream (or
+        deterministic hashing), never process-global randomness."""
+        for rel in (
+            "sharding/coordinator.py",
+            "consensus/mempool.py",
+            "consensus/bft.py",
+            "crypto/ed25519.py",
+            "crypto/sigcache.py",
+            "crypto/keys.py",
+            "core/validation.py",
+        ):
             source = (SRC / rel).read_text()
             assert "import random" not in source, rel
             assert "time.time(" not in source, rel
+
+    def test_batch_verify_randomness_is_injected_not_global(self):
+        """``verify_batch``'s coefficient draw only touches the rng it was
+        handed; with none, it derives coefficients by hashing the batch."""
+        tree = ast.parse((SRC / "crypto" / "ed25519.py").read_text())
+        coefficient_fn = next(
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, ast.FunctionDef) and node.name == "_batch_coefficient"
+        )
+        calls = [
+            node.func.value.id
+            for node in ast.walk(coefficient_fn)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.attr == "getrandbits"
+        ]
+        # Every getrandbits draw goes through the injected parameter.
+        assert calls == ["rng"], calls
