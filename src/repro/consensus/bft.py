@@ -25,6 +25,7 @@ from typing import Any, Callable
 from repro.consensus.abci import Application
 from repro.consensus.mempool import Mempool
 from repro.consensus.types import NIL, PRECOMMIT, PREVOTE, Block, TxEnvelope, Vote
+from repro.durability.recovery import block_record
 from repro.sim.events import EventHandle, EventLoop
 from repro.sim.network import Message, Network
 
@@ -103,6 +104,13 @@ class Validator:
         #: second quorum and recreate the fork.
         self._locked_round = -1
         self._locked_block: Block | None = None
+        #: Optional :class:`~repro.durability.node.NodeDurability` (set
+        #: by the cluster in durable deployments).  The lock rule's
+        #: crash-survival then means what it says: lock adoptions and
+        #: applied blocks are journaled through the WAL, and a node
+        #: rebuilt purely from its disk restores them
+        #: (:meth:`restore_durable`) instead of trusting process memory.
+        self.persistence = None
         self._timeout_handle: EventHandle | None = None
         self._last_propose_time = float("-inf")
         self._catchup_requested_at = float("-inf")
@@ -382,6 +390,18 @@ class Validator:
             if proposal is not None and proposal.block_id == vote.block_id:
                 self._locked_block = proposal
                 self._locked_round = vote.round
+                if self.persistence is not None:
+                    # Write-ahead consensus state (Tendermint WAL): a
+                    # restart-from-disk must see the lock or it could
+                    # help a second quorum form at this height.  Forced
+                    # past the group cadence — the precommit this lock
+                    # licenses broadcasts below, and a vote that outran
+                    # its lock's durability is the height-fork race with
+                    # a crash in the middle.
+                    self.persistence.journal(
+                        {"k": "lock", "r": vote.round, "b": block_record(proposal)}
+                    )
+                    self.persistence.log.flush_now()
         if (
             self._locked_block is None
             or self._locked_block.block_id != vote.block_id
@@ -465,6 +485,12 @@ class Validator:
         self._committed_ids.update(envelope.tx_id for envelope in block.transactions)
         self.mempool.remove([envelope.tx_id for envelope in block.transactions])
         self._gc_consensus_state(block.height)
+        if self.persistence is not None:
+            # Full envelopes ride the record so a restarted node rebuilds
+            # the exact chain (same value-based block ids) and can serve
+            # catch-up; a decided lock needs no explicit clear — recovery
+            # drops any lock at or below the recovered chain height.
+            self.persistence.journal({"k": "block", "b": block_record(block)})
         self.engine.record_commit(self.node_id, block)
 
     def _gc_consensus_state(self, committed_height: int) -> None:
@@ -578,6 +604,43 @@ class Validator:
                 self._request_catchup(peer)
                 break
         self._schedule_round_timeout()
+
+    # -- durable-state checkpoint / restore -----------------------------------
+
+    def consensus_snapshot(self) -> dict:
+        """Serialised durable consensus state (chain + lock) for the
+        node's checkpoint provider."""
+        lock = None
+        if self._locked_block is not None:
+            lock = {"r": self._locked_round, "b": block_record(self._locked_block)}
+        return {
+            "blocks": [block_record(block) for block in self.chain],
+            "lock": lock,
+        }
+
+    def restore_durable(
+        self,
+        blocks: list[Block],
+        locked_round: int = -1,
+        locked_block: Block | None = None,
+    ) -> None:
+        """Adopt disk-recovered chain and lock state after a restart.
+
+        Volatile state (mempool, votes, proposals, memo) is assumed
+        already cleared by :meth:`on_crash`; this resets the durable
+        half exactly as the WAL replay reconstructed it.
+        """
+        self.chain = list(blocks)
+        self.last_block_id = blocks[-1].block_id if blocks else GENESIS_ID
+        self.height = blocks[-1].height + 1 if blocks else 1
+        self.round = 0
+        self._committed_ids = {
+            envelope.tx_id for block in blocks for envelope in block.transactions
+        }
+        self._locked_block = locked_block
+        self._locked_round = locked_round
+        self._last_propose_time = float("-inf")
+        self._catchup_requested_at = float("-inf")
 
 
 class BftEngine:

@@ -18,14 +18,19 @@ from repro.common.errors import SchemaValidationError, ValidationError
 from repro.consensus.abci import envelope_for
 from repro.consensus.bft import BftConfig, BftEngine, CommitRecord
 from repro.consensus.tendermint import make_tendermint_cluster, tendermint_config
+from repro.core.context import ValidationContext
 from repro.core.driver import Driver, DriverCallback
+from repro.core.nested import NestedTransactionProcessor
 from repro.core.server import ServerCostModel, SmartchainServer
 from repro.core.transaction import ACCEPT_BID
 from repro.crypto.keys import ReservedAccounts
+from repro.durability.node import DurabilityConfig, NodeDurability
+from repro.durability.recovery import collections_state, recover
 from repro.sim.events import EventLoop
 from repro.sim.failures import FailureInjector
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.rng import SeededRng
+from repro.storage.database import make_smartchaindb_database
 
 
 @dataclass
@@ -66,6 +71,11 @@ class ClusterConfig:
     worker_poll_interval: float = 0.002
     #: Parallel RETURN workers per receiver node.
     worker_parallelism: int = 4
+    #: Per-node durability stack (WAL + group commit + snapshots).  None
+    #: keeps the abstract always-durable storage model; set to a
+    #: :class:`~repro.durability.node.DurabilityConfig` to journal every
+    #: mutation and enable :meth:`SmartchainCluster.restart_node_from_disk`.
+    durability: DurabilityConfig | None = None
 
 
 class SmartchainCluster:
@@ -85,8 +95,16 @@ class SmartchainCluster:
         self.network = Network(self.loop, self.rng, self.config.network)
         self.reserved = ReservedAccounts()
         self.servers: dict[str, SmartchainServer] = {}
+        #: Per-node persistence stacks (empty when durability is off).
+        self.node_durability: dict[str, NodeDurability] = {}
 
         def factory(node_id: str) -> SmartchainServer:
+            durability = None
+            if self.config.durability is not None:
+                durability = NodeDurability(
+                    node_id, self.loop, self.config.durability
+                )
+                self.node_durability[node_id] = durability
             server = SmartchainServer(
                 node_id,
                 self.reserved,
@@ -98,6 +116,7 @@ class SmartchainCluster:
                 # through the cluster seed keeps replays byte-identical.
                 rng=self.rng.stream("crypto-batch"),
                 validation_lanes=self.config.validation_lanes,
+                durability=durability,
             )
             if self.config.enable_extensions:
                 from repro.core.extensions import register_marketplace_extensions
@@ -121,6 +140,12 @@ class SmartchainCluster:
                 on_crash=validator.on_crash,
                 on_recover=lambda nid=node_id: self.resync_node(nid),
             )
+            durability = self.node_durability.get(node_id)
+            if durability is not None:
+                validator.persistence = durability
+                durability.state_provider = (
+                    lambda nid=node_id: self._node_checkpoint_state(nid)
+                )
 
         self.driver = Driver(self)
         self.records: dict[str, TxRecord] = {}
@@ -282,6 +307,62 @@ class SmartchainCluster:
                     self.config.worker_poll_interval,
                     lambda: self._drain_one_return(node_id),
                 )
+
+    # -- durability: checkpoints + restart-from-disk ---------------------------------
+
+    def _node_checkpoint_state(self, node_id: str) -> dict[str, Any]:
+        """Full snapshot state of one node: collections + chain + lock."""
+        server = self.servers[node_id]
+        return {
+            "collections": collections_state(server.database),
+            **self.engine.validator(node_id).consensus_snapshot(),
+        }
+
+    def restart_node_from_disk(self, node_id: str, torn_bytes: int = 0) -> None:
+        """Kill a node, discard its memory, restore it purely from disk.
+
+        This is the real crash-restart the abstract model only mimed:
+        the in-memory database, validation context, nested-transaction
+        processor and consensus chain are all rebuilt from the node's
+        :class:`~repro.durability.wal.SimDisk` (snapshot + WAL suffix,
+        scan-to-torn-tail), after the device loses its unsynced tail —
+        optionally keeping ``torn_bytes`` of it as a torn write.  The
+        node then rejoins through the normal recovery path (catch-up
+        from peers, RETURN re-enqueue).
+
+        Raises:
+            ValidationError: if the cluster was built without durability.
+        """
+        durability = self.node_durability.get(node_id)
+        if durability is None:
+            raise ValidationError(
+                f"{node_id} has no durability stack; set ClusterConfig.durability"
+            )
+        if not self.network.is_crashed(node_id):
+            self.failures.crash_now(node_id)
+        durability.power_fail(torn_bytes)
+        recovered = recover(
+            durability,
+            lambda: make_smartchaindb_database(
+                name=f"smartchaindb-{node_id}",
+                indexed=self.config.indexed_storage,
+            ),
+        )
+        recovered.database.attach_wal(durability.log)
+        server = self.servers[node_id]
+        # Spend guards (the 2PC lock oracle) are deployment wiring, not
+        # node state: they must survive the context rebuild or remote
+        # locks would stop being visible to local validation.
+        guards = list(server.context.spend_guards)
+        server.database = recovered.database
+        server.context = ValidationContext(server.database, self.reserved)
+        server.context.spend_guards.extend(guards)
+        server.nested = NestedTransactionProcessor(self.reserved.escrow, server.database)
+        locked_round, locked_block = recovered.locked()
+        self.engine.validator(node_id).restore_durable(
+            recovered.blocks(), locked_round, locked_block
+        )
+        self.failures.recover_now(node_id)
 
     # -- convenience -----------------------------------------------------------------
 

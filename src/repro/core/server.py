@@ -87,11 +87,16 @@ class SmartchainServer:
         indexed_storage: bool = True,
         rng: Any = None,
         validation_lanes: int = 4,
+        durability: Any = None,
     ):
         self.node_id = node_id
         self.reserved = reserved
         self.clock = clock or SimClock()
         self.costs = cost_model or ServerCostModel()
+        #: Optional :class:`~repro.durability.node.NodeDurability`: when
+        #: set, every database mutation journals through its group-commit
+        #: log and the node can be rebuilt purely from its disk.
+        self.durability = durability
         #: ``getrandbits`` provider for batched signature verification —
         #: a named ``sim.rng`` stream in a cluster, so batch coefficients
         #: replay byte-identically per seed (None = hash-derived).
@@ -101,7 +106,9 @@ class SmartchainServer:
             ConflictScheduler(lanes=validation_lanes) if validation_lanes > 1 else None
         )
         self.database: Database = make_smartchaindb_database(
-            name=f"smartchaindb-{node_id}", indexed=indexed_storage
+            name=f"smartchaindb-{node_id}",
+            indexed=indexed_storage,
+            wal=durability.log if durability is not None else None,
         )
         self.validator = TransactionValidator()
         self.context = ValidationContext(self.database, reserved)

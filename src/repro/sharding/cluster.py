@@ -23,6 +23,7 @@ from repro.common.errors import ValidationError
 from repro.consensus.tendermint import tendermint_config
 from repro.core.cluster import ClusterConfig, SmartchainCluster, TxRecord
 from repro.core.driver import Driver, DriverCallback, SubmitResult
+from repro.durability.node import DurabilityConfig, NodeDurability
 from repro.metrics.collector import RunMetrics, collect_metrics
 from repro.sharding.coordinator import (
     COORDINATOR_NODE,
@@ -48,6 +49,9 @@ class ShardedClusterConfig:
     #: Retry cadence when a cross-shard submit meets a crashed coordinator.
     submit_retry_delay: float = 1.0
     submit_max_retries: int = 20
+    #: Durability stack for every validator node *and* every 2PC agent
+    #: (None keeps the abstract always-durable model).
+    durability: DurabilityConfig | None = None
 
 
 class ShardedCluster:
@@ -69,6 +73,7 @@ class ShardedCluster:
                 # network jitter) without losing determinism.
                 seed=self.config.seed + 7919 * index,
                 consensus=tendermint_config(max_block_txs=self.config.max_block_txs),
+                durability=self.config.durability,
             )
             self.shards[shard_id] = SmartchainCluster(shard_config, loop=self.loop)
         self.agents: dict[str, TwoPhaseCoordinator] = {
@@ -79,6 +84,13 @@ class ShardedCluster:
                 self.agent_for,
                 self._cross_outcome,
                 self.config.coordinator,
+                durability=(
+                    NodeDurability(
+                        f"agent-{shard_id}", self.loop, self.config.durability
+                    )
+                    if self.config.durability is not None
+                    else None
+                ),
             )
             for shard_id, cluster in self.shards.items()
         }
@@ -112,6 +124,20 @@ class ShardedCluster:
 
     def recover_coordinator(self, shard: str | int) -> None:
         self.shard(shard).failures.recover_now(COORDINATOR_NODE)
+
+    def restart_node_from_disk(
+        self, shard: str | int, node_id: str, torn_bytes: int = 0
+    ) -> None:
+        """Crash-restart one validator node purely from its SimDisk."""
+        self.shard(shard).restart_node_from_disk(node_id, torn_bytes=torn_bytes)
+
+    def restart_coordinator_from_disk(
+        self, shard: str | int, torn_bytes: int = 0
+    ) -> None:
+        """Crash-restart one shard's 2PC agent purely from its SimDisk."""
+        if isinstance(shard, int):
+            shard = self.shard_ids[shard]
+        self.agents[shard].restart_from_disk(torn_bytes=torn_bytes)
 
     # -- submission --------------------------------------------------------------
 

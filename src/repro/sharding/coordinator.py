@@ -56,6 +56,8 @@ from repro.common.encoding import deep_copy_json
 from repro.common.errors import ValidationError
 from repro.core.cluster import SmartchainCluster
 from repro.core.transaction import OutputRef
+from repro.durability.node import NodeDurability
+from repro.durability.recovery import collections_state, recover
 from repro.sharding.router import RoutingDecision
 from repro.sim.events import EventLoop
 from repro.storage.database import SMARTCHAINDB_LAYOUT, Database
@@ -113,6 +115,7 @@ class TwoPhaseCoordinator:
         peer_lookup: Callable[[str], "TwoPhaseCoordinator"],
         on_outcome: OutcomeCallback,
         config: CoordinatorConfig | None = None,
+        durability: NodeDurability | None = None,
     ):
         self.shard_id = shard_id
         self.cluster = cluster
@@ -121,12 +124,14 @@ class TwoPhaseCoordinator:
         self._peer = peer_lookup
         self._on_outcome = on_outcome
         self.crashed = False
+        #: Optional persistence stack: when set, the outbox/locks tables
+        #: journal through its group-commit WAL and the agent can be
+        #: rebuilt purely from disk (:meth:`restart_from_disk`).
+        self.durability = durability
         #: Durable agent state: survives crashes, like any node database.
-        self.durable = Database(f"shard-agent-{shard_id}")
-        for name in ("shard_locks", "shard_outbox"):
-            collection = self.durable.create_collection(name)
-            for path, unique in SMARTCHAINDB_LAYOUT[name]:
-                collection.create_index(path, unique=unique)
+        self.durable = self._make_durable_database()
+        if durability is not None:
+            durability.state_provider = self._checkpoint_state
         # Volatile protocol state (lost on crash, rebuilt from durable).
         self._votes: dict[str, dict[str, bool]] = {}
         self._vote_payloads: dict[str, list[dict[str, Any]]] = {}
@@ -157,6 +162,41 @@ class TwoPhaseCoordinator:
         )
 
     # -- plumbing ---------------------------------------------------------------
+
+    def _make_durable_database(self, journaled: bool = True) -> Database:
+        """The agent's lock/outbox database, WAL-backed when durable.
+
+        ``journaled=False`` builds the empty layout for recovery replay
+        (which must not re-journal what it replays).
+        """
+        wal = (
+            self.durability.log
+            if journaled and self.durability is not None
+            else None
+        )
+        database = Database(f"shard-agent-{self.shard_id}", wal=wal)
+        for name in ("shard_locks", "shard_outbox"):
+            collection = database.create_collection(name)
+            for path, unique in SMARTCHAINDB_LAYOUT[name]:
+                collection.create_index(path, unique=unique)
+        return database
+
+    def _checkpoint_state(self) -> dict[str, Any]:
+        return {"collections": collections_state(self.durable)}
+
+    def _force(self) -> None:
+        """2PC force-write point: flush the journal *now*.
+
+        Presumed abort is only sound if certain records hit the disk
+        before their messages hit the wire — a participant's prepared
+        lock before its YES vote (a lock lost to a torn write after the
+        vote escaped would let the UTXO be respent locally while the
+        home chain commits the remote spend), and the coordinator's
+        state transitions before the actions they license.  Everything
+        else rides the normal group-commit cadence.
+        """
+        if self.durability is not None:
+            self.durability.log.flush_now()
 
     @property
     def _outbox(self):
@@ -325,6 +365,10 @@ class TwoPhaseCoordinator:
             self._outbox.update_many(
                 {"tx_id": tx_id}, {"$set": {"state": "commit_pending"}}
             )
+            # Forced: were the flip torn away after the home submit went
+            # out, recovery would presume abort while the home chain
+            # commits — the split-brain presumed abort cannot survive.
+            self._force()
             self._notify("commit_pending", tx_id)
             self._submit_home(tx_id, doc["payload"])
 
@@ -358,6 +402,7 @@ class TwoPhaseCoordinator:
             {"tx_id": tx_id},
             {"$set": {"state": outcome, "outcome": outcome, "reason": reason}},
         )
+        self._force()  # decided-before-broadcast, the classic 2PC force point
         self._disarm("prepare", tx_id)
         self._votes.pop(tx_id, None)
         self._vote_payloads.pop(tx_id, None)
@@ -480,6 +525,7 @@ class TwoPhaseCoordinator:
             ]
         )
         self.stats["locks_granted"] += len(resolved)
+        self._force()  # the prepared lock must outlive any crash the YES vote outruns
         self._notify("prepared", tx_id)
         self._arm(
             "lock", tx_id, self.config.lock_timeout,
@@ -560,6 +606,45 @@ class TwoPhaseCoordinator:
         self._epoch += 1
         self.resume()
 
+    def restart_from_disk(self, torn_bytes: int = 0) -> None:
+        """Kill the agent, discard its memory, rebuild from its disk.
+
+        The abstract model kept ``self.durable`` alive across crashes;
+        here it is genuinely rebuilt from snapshot + WAL suffix after the
+        device loses its unsynced tail (optionally keeping ``torn_bytes``
+        as a torn write).
+
+        Ordering is load-bearing — this is the restart bug the chaos
+        harness's crash-restart family exists to catch: the recovered
+        database must be swapped in *before* the recovery callback runs,
+        and timers must be re-armed by ``resume()`` *after* the epoch
+        advances.  Rebuilding the tables without re-running resume leaves
+        every in-flight cross-shard transaction with prepared locks and
+        no inquiry timer — presumed-abort then stalls until some other
+        agent happens to poke this one
+        (``tests/sharding/test_coordinator_timers.py`` pins the fix).
+
+        Raises:
+            ValidationError: if the agent was built without durability.
+        """
+        if self.durability is None:
+            raise ValidationError(
+                f"2PC agent for {self.shard_id} has no durability stack"
+            )
+        if not self.crashed:
+            # Fires on_crash: epoch bump, volatile wipe, timer cancel.
+            self.cluster.failures.crash_now(COORDINATOR_NODE)
+        self.durability.power_fail(torn_bytes)
+        recovered = recover(
+            self.durability, lambda: self._make_durable_database(journaled=False)
+        )
+        recovered.database.attach_wal(self.durability.log)
+        self.durable = recovered.database
+        # recover_now -> on_recover: crashed=False, epoch++, resume() —
+        # which re-broadcasts decided outcomes and re-arms the inquiry
+        # timers for every lock the disk says is still prepared.
+        self.cluster.failures.recover_now(COORDINATOR_NODE)
+
     def resume(self) -> None:
         """Drive every unfinished protocol instance from durable state.
 
@@ -601,9 +686,31 @@ class TwoPhaseCoordinator:
             self._decide(tx_id, "committed", None)
         elif record.rejected is not None:
             self._decide(tx_id, "aborted", f"home rejection: {record.rejected}")
-        # Else the home BFT is still working on it and the registered
-        # submit callback (which checks the *current* crash flag) will
-        # settle the outcome when it fires.
+        else:
+            # Parked in flight.  Trusting the registered submit callback
+            # is not enough: the envelope may have died with a crashed
+            # mempool *after* admission (record accepted, gossip lost),
+            # in which case no commit ever fires and presumed abort
+            # stalls with the participants' locks held — found by the
+            # crash-restart chaos family (seed 13).  Re-drive the home
+            # submission; harmless if the transaction is still pooled
+            # (mempools dedup, the callback slot is simply refreshed).
+            result = self.cluster.submit_payload(
+                doc["payload"],
+                callback=lambda status, detail: self._home_settled(
+                    tx_id, status, detail
+                ),
+                _retry=True,
+            )
+            if not result.accepted:
+                # Same rule as _submit_home: a failed admission fires no
+                # callback, and with every home validator down (their
+                # mempools died with them) the transaction can never
+                # commit — abort now, or the participants' prepared
+                # locks park with no decision and no pending callback.
+                self._home_settled(
+                    tx_id, "rejected", result.error or "home admission failed"
+                )
 
     # -- introspection ----------------------------------------------------------
 

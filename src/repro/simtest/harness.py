@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 from repro.consensus.tendermint import tendermint_config
 from repro.core.cluster import ClusterConfig, SmartchainCluster
+from repro.durability.node import DurabilityConfig
 from repro.sharding.cluster import ShardedCluster, ShardedClusterConfig
 from repro.sim.rng import SeededRng
 from repro.simtest.invariants import InvariantChecker, Violation
@@ -47,6 +48,11 @@ class SimtestConfig:
     n_shards: int = 3
     n_validators: int = 4
     max_block_txs: int = 8
+    #: Give every node and 2PC agent a real persistence stack (SimDisk +
+    #: WAL + snapshots), enabling the crash-restart fault family and the
+    #: wal_prefix_durability invariant.  False replays the pre-durability
+    #: abstract storage model.
+    durable: bool = True
     #: Simulated seconds each step advances the loop.
     step_duration: float = 0.05
     #: Per-step probability that a new fault starts.
@@ -70,6 +76,7 @@ class SimtestConfig:
             "n_shards": self.n_shards,
             "n_validators": self.n_validators,
             "max_block_txs": self.max_block_txs,
+            "durable": self.durable,
             "step_duration": self.step_duration,
             "fault_rate": self.fault_rate,
             "transfer_rate": self.transfer_rate,
@@ -109,6 +116,8 @@ class ReproBundle:
             parts.append(f"--validators {self.config['n_validators']}")
         if self.config.get("fault_rate") != defaults.fault_rate:
             parts.append(f"--fault-rate {self.config['fault_rate']}")
+        if not self.config.get("durable", True):
+            parts.append("--volatile")
         return " ".join(parts)
 
     def to_json(self) -> str:
@@ -153,12 +162,14 @@ class SimHarness:
         self.config = config or SimtestConfig()
         cfg = self.config
         self.rng = SeededRng(cfg.seed)
+        durability = DurabilityConfig() if cfg.durable else None
         if cfg.single:
             cluster = SmartchainCluster(
                 ClusterConfig(
                     n_validators=cfg.n_validators,
                     seed=cfg.seed,
                     consensus=tendermint_config(max_block_txs=cfg.max_block_txs),
+                    durability=durability,
                 )
             )
         else:
@@ -168,6 +179,7 @@ class SimHarness:
                     n_validators=cfg.n_validators,
                     seed=cfg.seed,
                     max_block_txs=cfg.max_block_txs,
+                    durability=durability,
                 )
             )
         self.plane = FaultPlane(cluster)
@@ -186,6 +198,9 @@ class SimHarness:
         self.checker = InvariantChecker(self.plane)
         # Phase traps: armed by the schedule, sprung by the agents.
         self._armed_phase: str | None = None
+        #: Like ``_armed_phase``, but the sprung fault is a full
+        #: crash-restart-from-disk of the agent (not a plain crash).
+        self._armed_restart_phase: str | None = None
         self._trap_crashed: list[str] = []
         self._trap_log: list[str] = []
         self.plane.register_phase_listener(self._on_phase)
@@ -193,6 +208,24 @@ class SimHarness:
     # -- phase traps -------------------------------------------------------------
 
     def _on_phase(self, shard_id: str, phase: str, tx_id: str) -> None:
+        if self._armed_restart_phase == phase and not self.plane.coordinator_crashed(
+            shard_id
+        ):
+            self._armed_restart_phase = None
+            torn = self.rng.randint("trap:torn", 0, 48)
+            self._trap_log.append(
+                f"restart trap sprung t={self.plane.now:.6f} shard={shard_id} "
+                f"phase={phase} tx={tx_id[:8]} torn={torn}"
+            )
+            # Restart through the loop: the agent finishes its current
+            # handler, then dies and is rebuilt purely from its SimDisk —
+            # for phase "prepared" that lands exactly between 2PC prepare
+            # and decision.
+            self.plane.loop.schedule_in(
+                0.0,
+                lambda: self.plane.crash_restart_coordinator(shard_id, torn),
+            )
+            return
         if self._armed_phase != phase:
             return
         if self.plane.coordinator_crashed(shard_id):
@@ -226,8 +259,13 @@ class SimHarness:
                 plane.recover_coordinator(action.shard)
         elif kind == "phase_trap":
             self._armed_phase = str(action.arg)
+        elif kind == "restart_trap":
+            self._armed_restart_phase = str(action.arg)
+        elif kind == "crash_restart":
+            plane.crash_restart(action.shard, action.node, int(action.arg or 0))
         elif kind == "trap_clear":
             self._armed_phase = None
+            self._armed_restart_phase = None
             for shard_id in self._trap_crashed:
                 if plane.coordinator_crashed(shard_id):
                     plane.recover_coordinator(shard_id)
@@ -278,6 +316,7 @@ class SimHarness:
         # *during* repair would fail the quiesce invariants on a healthy
         # system.  (quiesce itself recovers already-sprung crashes.)
         self._armed_phase = None
+        self._armed_restart_phase = None
         self._trap_crashed.clear()
         if not (report.violations and cfg.fail_fast):
             self.plane.quiesce()

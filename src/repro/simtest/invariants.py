@@ -362,6 +362,79 @@ def outbox_terminal(plane: FaultPlane) -> list[str]:
     return violations
 
 
+def wal_prefix_durability(plane: FaultPlane) -> list[str]:
+    """Disk tells the same story as memory once the loop has drained.
+
+    For every durable node and 2PC agent: replaying its device (newest
+    valid snapshot + WAL scan-to-torn-tail, **read-only** — no repair)
+    must reconstruct exactly the live collections, the applied chain
+    (same heights and value-based block ids) and the consensus lock.
+    Mid-run the disk legitimately trails memory by one group-commit
+    batch; at quiesce every flush has fired, so any divergence means a
+    mutation escaped the journal, replay is wrong, or a torn tail ate
+    acknowledged state — the prefix-durability contract in one check.
+    """
+    if not plane.durable:
+        return []
+    from repro.durability.recovery import diff_databases, recover
+    from repro.storage.database import make_smartchaindb_database
+
+    violations = []
+    for shard_id in plane.shard_ids:
+        shard = plane.shard_cluster(shard_id)
+        for node_id in shard.engine.validator_order:
+            durability = shard.node_durability[node_id]
+            if durability.log.pending:
+                violations.append(
+                    f"{shard_id}/{node_id}: {durability.log.pending} journal "
+                    "records still unflushed at quiesce"
+                )
+            recovered = recover(
+                durability,
+                lambda nid=node_id, idx=shard.config.indexed_storage: (
+                    make_smartchaindb_database(name=f"smartchaindb-{nid}", indexed=idx)
+                ),
+                repair=False,
+            )
+            server = shard.servers[node_id]
+            for problem in diff_databases(server.database, recovered.database):
+                violations.append(f"{shard_id}/{node_id}: {problem}")
+            validator = shard.engine.validator(node_id)
+            live_chain = [(block.height, block.block_id) for block in validator.chain]
+            disk_chain = [(rec["h"], rec["id"]) for rec in recovered.block_records]
+            if live_chain != disk_chain:
+                violations.append(
+                    f"{shard_id}/{node_id}: disk chain ({len(disk_chain)} blocks) "
+                    f"!= live chain ({len(live_chain)} blocks)"
+                )
+            live_lock = (
+                (validator._locked_round, validator._locked_block.block_id)
+                if validator._locked_block is not None
+                else (-1, None)
+            )
+            disk_round, disk_block = recovered.locked()
+            disk_lock = (disk_round, disk_block.block_id if disk_block else None)
+            if live_lock != disk_lock:
+                violations.append(
+                    f"{shard_id}/{node_id}: disk lock {disk_lock} != live {live_lock}"
+                )
+    for shard_id, agent in sorted(plane.agents.items()):
+        if agent.durability is None:
+            continue
+        if agent.durability.log.pending:
+            violations.append(
+                f"{shard_id}/agent: journal records still unflushed at quiesce"
+            )
+        recovered = recover(
+            agent.durability,
+            lambda a=agent: a._make_durable_database(journaled=False),
+            repair=False,
+        )
+        for problem in diff_databases(agent.durable, recovered.database):
+            violations.append(f"{shard_id}/agent: {problem}")
+    return violations
+
+
 def all_cross_settled(plane: FaultPlane) -> list[str]:
     """Every cross-shard submission has a final outcome at quiesce."""
     if not plane.sharded:
@@ -386,6 +459,8 @@ DEFAULT_INVARIANTS: list[Invariant] = [
     Invariant("no_stuck_locks", no_stuck_locks, scope="quiesce", sharded_only=True),
     Invariant("outbox_terminal", outbox_terminal, scope="quiesce", sharded_only=True),
     Invariant("all_cross_settled", all_cross_settled, scope="quiesce", sharded_only=True),
+    # Disk == memory for every durable node/agent (skips volatile runs).
+    Invariant("wal_prefix_durability", wal_prefix_durability, scope="quiesce"),
 ]
 
 

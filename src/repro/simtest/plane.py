@@ -89,6 +89,26 @@ class FaultPlane:
         shard = self._shards[shard_id]
         return [n for n in shard.engine.validator_order if shard.network.is_crashed(n)]
 
+    # -- crash-restart faults (durability required) --------------------------------
+
+    @property
+    def durable(self) -> bool:
+        """True when the deployment journals to per-node SimDisks, i.e.
+        the crash-restart fault family is expressible."""
+        return bool(self._shards[self.shard_ids[0]].node_durability)
+
+    def crash_restart(self, shard_id: str, node_id: str, torn_bytes: int = 0) -> None:
+        """Kill a node, discard its memory, restore it purely from its
+        SimDisk (losing the device's unsynced tail, optionally keeping
+        ``torn_bytes`` of it as a torn write), and rejoin the cluster."""
+        self._shards[shard_id].restart_node_from_disk(node_id, torn_bytes=torn_bytes)
+
+    def crash_restart_coordinator(self, shard_id: str, torn_bytes: int = 0) -> None:
+        """Crash-restart one shard's 2PC agent purely from its SimDisk."""
+        if not self.sharded:
+            raise ValueError("a single cluster has no 2PC coordinator to restart")
+        self.cluster.agents[shard_id].restart_from_disk(torn_bytes=torn_bytes)
+
     # -- coordinator faults -------------------------------------------------------
 
     def crash_coordinator(self, shard_id: str) -> None:

@@ -39,9 +39,18 @@ TRAP_PHASES = (
     "decision_applied",
 )
 
+#: 2PC phases the generator arms *crash-restart* traps on: the
+#: participant dying with a fresh prepared lock (between prepare and
+#: decision) and the coordinator dying between the outbox flip and the
+#: home submit — both restored purely from their SimDisk.
+RESTART_TRAP_PHASES = ("prepared", "commit_pending")
+
 #: Fault kinds applicable to any deployment / only to sharded ones.
 COMMON_KINDS = ("crash_node", "partition", "net_delay", "time_jump", "burst")
 SHARDED_KINDS = ("crash_coordinator", "phase_trap")
+#: Kinds requiring per-node durability (the crash-restart family).
+DURABLE_KINDS = ("crash_restart",)
+DURABLE_SHARDED_KINDS = ("restart_trap",)
 
 
 @dataclass(frozen=True)
@@ -159,6 +168,10 @@ class ScheduleGenerator:
         rng = self._rng
         plane = self._plane
         kinds = list(COMMON_KINDS) + (list(SHARDED_KINDS) if plane.sharded else [])
+        if plane.durable:
+            kinds += list(DURABLE_KINDS)
+            if plane.sharded:
+                kinds += list(DURABLE_SHARDED_KINDS)
         actions: list[FaultAction] = []
         #: step -> repairs that come due there (emitted in order).
         repairs: dict[int, list[FaultAction]] = {}
@@ -218,6 +231,22 @@ class ScheduleGenerator:
                 phase = rng.choice("schedule:phase", TRAP_PHASES)
                 actions.append(FaultAction(step, "phase_trap", arg=phase))
                 repair_at(step + hold, FaultAction(step + hold, "trap_clear"))
+            elif kind == "crash_restart":
+                # Atomic kill + restore-from-disk: no paired repair, and
+                # no open-disruption bookkeeping — the node is back (and
+                # catching up) within the same step.
+                node = rng.choice("schedule:node", plane.nodes(shard))
+                torn = rng.randint("schedule:torn", 0, 48)
+                actions.append(
+                    FaultAction(step, "crash_restart", shard=shard, node=node, arg=torn)
+                )
+            elif kind == "restart_trap":
+                if trap_armed:
+                    continue
+                trap_armed = True
+                phase = rng.choice("schedule:restart-phase", RESTART_TRAP_PHASES)
+                actions.append(FaultAction(step, "restart_trap", arg=phase))
+                repair_at(step + hold, FaultAction(step + hold, "trap_clear"))
             elif kind == "net_delay":
                 if shard in delayed:
                     continue
@@ -231,6 +260,36 @@ class ScheduleGenerator:
             elif kind == "burst":
                 size = rng.randint("schedule:burst", 4, 12)
                 actions.append(FaultAction(step, "burst", arg=size))
+        # Durable deployments: every plan exercises the crash-restart
+        # family at least once — one node rebuilt purely from its disk,
+        # and (sharded) one agent restart landing between 2PC prepare
+        # and decision — so no seed ships without covering the recovery
+        # path this harness exists to break.
+        if plane.durable and steps >= 8:
+            window = (steps // 4, max(steps // 4 + 1, (3 * steps) // 4))
+            if not any(action.kind == "crash_restart" for action in actions):
+                at_step = rng.randint("schedule:restart-step", *window)
+                shard = rng.choice("schedule:restart-shard", plane.shard_ids)
+                node = rng.choice("schedule:restart-node", plane.nodes(shard))
+                torn = rng.randint("schedule:torn", 0, 48)
+                actions.append(
+                    FaultAction(at_step, "crash_restart", shard=shard, node=node, arg=torn)
+                )
+            if plane.sharded and not any(
+                action.kind == "restart_trap" for action in actions
+            ):
+                at_step = rng.randint("schedule:restart-trap-step", *window)
+                # Keep the injected window clear of every randomly-armed
+                # trap: a shared trap_clear landing inside another trap's
+                # window would disarm it before it springs.
+                last_clear = max(
+                    (action.step for action in actions if action.kind == "trap_clear"),
+                    default=-1,
+                )
+                at_step = min(max(at_step, last_clear + 1), steps - 2)
+                clear_step = min(at_step + 12, steps - 1)
+                actions.append(FaultAction(at_step, "restart_trap", arg="prepared"))
+                actions.append(FaultAction(clear_step, "trap_clear"))
         # Unemitted repairs past the horizon: quiesce repairs everything,
         # but keep the plan self-contained for replay tooling.
         for step in sorted(repairs):

@@ -35,6 +35,12 @@ class Collection:
 
     def __init__(self, name: str):
         self.name = name
+        #: Optional journal sink (set by a WAL-backed Database): called
+        #: with one logical-op record per successful mutation, *after*
+        #: the in-memory apply — write-ahead ordering is provided by the
+        #: group-commit layer, which makes the record durable before any
+        #: externally visible acknowledgement leaves the node.
+        self.journal: Callable[[dict[str, Any]], None] | None = None
         self._documents: dict[int, dict[str, Any]] = {}
         self._next_id = itertools.count(1)
         self._hash_indexes: dict[str, HashIndex] = {}
@@ -108,6 +114,10 @@ class Collection:
             sorted_index.add(doc_id, stored)
         self._documents[doc_id] = stored
         self.stats["inserts"] += 1
+        if self.journal is not None:
+            # ``stored`` is frozen from here on, so the journal record
+            # may hold it by reference until the group flush encodes it.
+            self.journal({"op": "insert", "c": self.name, "d": stored})
         return doc_id
 
     def insert_many(self, documents: list[dict[str, Any]]) -> list[int]:
@@ -124,6 +134,10 @@ class Collection:
             for sorted_index in self._sorted_indexes.values():
                 sorted_index.remove(doc_id, document)
         self.stats["deletes"] += len(doomed)
+        if doomed and self.journal is not None:
+            self.journal(
+                {"op": "delete", "c": self.name, "q": deep_copy_json(query)}
+            )
         return len(doomed)
 
     def update_many(
@@ -142,6 +156,7 @@ class Collection:
             QueryError: if the update document uses unsupported operators.
         """
         updated = 0
+        replacements: list[dict[str, Any]] = []
         for doc_id, document in self._match_ids(query):
             if callable(update):
                 replacement = deep_copy_json(update(deep_copy_json(document)))
@@ -156,8 +171,30 @@ class Collection:
                 index.add(doc_id, replacement)
             for sorted_index in self._sorted_indexes.values():
                 sorted_index.add(doc_id, replacement)
+            replacements.append(replacement)
             updated += 1
         self.stats["updates"] += updated
+        if updated and self.journal is not None:
+            if callable(update):
+                # A callable cannot be serialised; its *effects* can.
+                # Replay swaps these replacements back in match order.
+                self.journal(
+                    {
+                        "op": "replace",
+                        "c": self.name,
+                        "q": deep_copy_json(query),
+                        "r": replacements,
+                    }
+                )
+            else:
+                self.journal(
+                    {
+                        "op": "update",
+                        "c": self.name,
+                        "q": deep_copy_json(query),
+                        "u": deep_copy_json(update),
+                    }
+                )
         return updated
 
     @staticmethod

@@ -36,10 +36,22 @@ SMARTCHAINDB_LAYOUT: dict[str, list[tuple[str, bool]]] = {
 
 
 class Database:
-    """A named set of collections, creatable on demand."""
+    """A named set of collections, creatable on demand.
 
-    def __init__(self, name: str = "smartchaindb"):
+    Args:
+        name: database name.
+        wal: optional journal sink — anything with an ``append(record)``
+            method, normally a
+            :class:`~repro.durability.commitlog.GroupCommitLog`.  When
+            set, every collection mutation (insert/delete/update) emits
+            one logical-op record, so the database can be rebuilt from
+            snapshot + journal after a crash
+            (:mod:`repro.durability.recovery`).
+    """
+
+    def __init__(self, name: str = "smartchaindb", wal: Any = None):
         self.name = name
+        self.wal = wal
         self._collections: dict[str, Collection] = {}
 
     def create_collection(self, name: str) -> Collection:
@@ -48,7 +60,23 @@ class Database:
         if collection is None:
             collection = Collection(name)
             self._collections[name] = collection
+            if self.wal is not None:
+                collection.journal = self._journal
         return collection
+
+    def attach_wal(self, wal: Any) -> None:
+        """Journal all further mutations (existing collections included).
+
+        Recovery uses this: the database is rebuilt journal-free (replay
+        must not re-journal), then reattached so post-restart mutations
+        extend the log.
+        """
+        self.wal = wal
+        for collection in self._collections.values():
+            collection.journal = self._journal if wal is not None else None
+
+    def _journal(self, op: dict[str, Any]) -> None:
+        self.wal.append({"k": "db", **op})
 
     def collection(self, name: str) -> Collection:
         """Fetch an existing collection.
@@ -75,7 +103,9 @@ class Database:
         }
 
 
-def make_smartchaindb_database(name: str = "smartchaindb", indexed: bool = True) -> Database:
+def make_smartchaindb_database(
+    name: str = "smartchaindb", indexed: bool = True, wal: Any = None
+) -> Database:
     """Provision the standard SmartchainDB collection layout.
 
     Args:
@@ -83,8 +113,9 @@ def make_smartchaindb_database(name: str = "smartchaindb", indexed: bool = True)
         indexed: when False, collections are created *without* their hash
             indexes — used by the indexing ablation benchmark to show why
             BigchainDB's latency stays flat.
+        wal: optional journal sink (see :class:`Database`).
     """
-    database = Database(name)
+    database = Database(name, wal=wal)
     for collection_name, indexes in SMARTCHAINDB_LAYOUT.items():
         collection = database.create_collection(collection_name)
         if indexed:

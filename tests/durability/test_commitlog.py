@@ -1,0 +1,74 @@
+"""Group commit: batching, sync amortisation, max-latency bound."""
+
+from repro.durability.commitlog import GroupCommitLog
+from repro.durability.wal import SegmentedWal, SimDisk
+from repro.sim.events import EventLoop
+
+
+def make_log(flush_interval: float = 0.0, max_latency: float = 0.002):
+    loop = EventLoop()
+    disk = SimDisk()
+    wal = SegmentedWal(disk)
+    return loop, disk, wal, GroupCommitLog(
+        wal, loop, flush_interval=flush_interval, max_latency=max_latency
+    )
+
+
+class TestGroupCommit:
+    def test_one_ticks_appends_share_one_sync(self):
+        loop, disk, wal, log = make_log()
+        for i in range(20):
+            log.append({"n": i})
+        loop.run_until_idle()
+        assert disk.stats["syncs"] == 1
+        assert [rec["n"] for _, rec in wal.scan()] == list(range(20))
+
+    def test_batches_across_ticks_sync_separately(self):
+        loop, disk, wal, log = make_log()
+        log.append({"n": 0})
+        loop.run_until_idle()
+        log.append({"n": 1})
+        loop.run_until_idle()
+        assert disk.stats["syncs"] == 2
+        assert log.stats["flushes"] == 2
+
+    def test_records_are_durable_after_flush(self):
+        loop, disk, wal, log = make_log()
+        durable_lsns = []
+        log.append({"n": 0}, on_durable=durable_lsns.append)
+        assert durable_lsns == []  # acknowledged only after the sync
+        loop.run_until_idle()
+        assert durable_lsns == [1]
+
+    def test_flush_interval_is_bounded_by_max_latency(self):
+        loop, _, _, log = make_log(flush_interval=5.0, max_latency=0.01)
+        log.append({"n": 0})
+        loop.run_until_idle()
+        assert loop.clock.now <= 0.01
+
+    def test_drop_queue_loses_unflushed_records(self):
+        loop, _, wal, log = make_log()
+        log.append({"n": 0})
+        log.drop_queue()
+        loop.run_until_idle()
+        assert list(wal.scan()) == []
+        assert log.pending == 0
+
+    def test_flush_now_is_synchronous(self):
+        loop, disk, wal, log = make_log()
+        log.append({"n": 0})
+        log.flush_now()
+        assert [rec["n"] for _, rec in wal.scan()] == [0]
+        # The cancelled scheduled flush must not double-sync.
+        syncs = disk.stats["syncs"]
+        loop.run_until_idle()
+        assert disk.stats["syncs"] == syncs
+
+    def test_after_flush_hook_fires_once_per_flush(self):
+        loop, _, _, log = make_log()
+        fired = []
+        log.after_flush = lambda: fired.append(log.stats["flushes"])
+        for i in range(5):
+            log.append({"n": i})
+        loop.run_until_idle()
+        assert fired == [1]

@@ -90,7 +90,10 @@ class TestNoGlobalRandomness:
         """Modules past issues singled out draw nothing globally — now
         including the crypto/batching fast path (ISSUE 4): batch-verify
         coefficients must come from a passed-in seeded stream (or
-        deterministic hashing), never process-global randomness."""
+        deterministic hashing), never process-global randomness — and
+        the durability layer (ISSUE 5): replaying a SimDisk must be
+        byte-identical, so WAL frames, flush timing and snapshot cadence
+        may draw on nothing but the injected event loop."""
         for rel in (
             "sharding/coordinator.py",
             "consensus/mempool.py",
@@ -99,6 +102,11 @@ class TestNoGlobalRandomness:
             "crypto/sigcache.py",
             "crypto/keys.py",
             "core/validation.py",
+            "durability/wal.py",
+            "durability/commitlog.py",
+            "durability/snapshot.py",
+            "durability/recovery.py",
+            "durability/node.py",
         ):
             source = (SRC / rel).read_text()
             assert "import random" not in source, rel
@@ -123,3 +131,41 @@ class TestNoGlobalRandomness:
         ]
         # Every getrandbits draw goes through the injected parameter.
         assert calls == ["rng"], calls
+
+
+class TestDurabilityTimingIsLoopInjected:
+    """ISSUE 5: group-commit flush timing comes only from the injected
+    event loop — the durability layer schedules nothing it wasn't given."""
+
+    def test_commitlog_schedules_only_through_the_injected_loop(self):
+        tree = ast.parse((SRC / "durability" / "commitlog.py").read_text())
+        schedulers = []
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("schedule_in", "schedule_at")
+            ):
+                # Must be self._loop.schedule_*(...): an attribute access
+                # on the injected loop, never a module-level scheduler.
+                target = node.func.value
+                assert isinstance(target, ast.Attribute), ast.dump(node)
+                assert target.attr == "_loop", ast.dump(node)
+                schedulers.append(node.func.attr)
+        assert schedulers, "the flush must be scheduled through the loop"
+
+    def test_durability_package_has_no_scheduling_outside_commitlog(self):
+        """wal/snapshot/recovery are pure byte and state transforms: any
+        timing decision belongs to the commit log (or the owner)."""
+        for rel in ("wal.py", "snapshot.py", "recovery.py"):
+            tree = ast.parse((SRC / "durability" / rel).read_text())
+            for node in ast.walk(tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("schedule_in", "schedule_at")
+                ):
+                    raise AssertionError(
+                        f"durability/{rel} schedules events; timing belongs "
+                        "to commitlog.py"
+                    )
