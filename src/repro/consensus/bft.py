@@ -14,6 +14,17 @@ The engine is crash-fault tolerant: crashed validators receive nothing,
 lose volatile state (mempool, votes) and catch up from peers on recovery.
 Liveness needs > 2/3 of validators online, matching the paper's BFT
 threshold discussion in Section 4.2.1.
+
+It is also hardened against the byzantine fault family the chaos
+harness injects (:mod:`repro.consensus.byzantine`): quorum tallies
+count *validators*, never messages (a double-voter's first vote per
+(phase, height, round) is the only one that counts); votes authenticate
+their wire sender (``vote.voter`` must equal the sending node — votes
+are not relayed in this protocol); proposals are accepted only from the
+due proposer of their (height, round) and must extend this node's
+chain; and an equivocating proposer's rival blocks are retained side by
+side so whichever id earns an honest quorum can still commit, while the
+misbehavior itself lands in the validator's ``evidence`` log.
 """
 
 from __future__ import annotations
@@ -30,6 +41,10 @@ from repro.sim.events import EventHandle, EventLoop
 from repro.sim.network import Message, Network
 
 GENESIS_ID = "0" * 64
+
+#: Cap on the per-validator misbehavior evidence log: a vote-spamming
+#: byzantine peer must not grow honest memory without bound.
+EVIDENCE_LIMIT = 512
 
 
 @dataclass
@@ -85,9 +100,16 @@ class Validator:
         self.round = 0
         self.chain: list[Block] = []
         self.last_block_id = GENESIS_ID
-        # Volatile consensus state.
-        self._proposals: dict[tuple[int, int], Block] = {}
+        # Volatile consensus state.  Proposals key (height, round) ->
+        # {block_id -> Block}: under an equivocating proposer two rival
+        # blocks legitimately coexist for one round, and commit must be
+        # able to resolve whichever id a quorum lands on.
+        self._proposals: dict[tuple[int, int], dict[str, Block]] = {}
         self._votes: dict[tuple[str, int, int, str], set[str]] = {}
+        #: First vote seen per (phase, height, round) per voter — the
+        #: per-validator half of quorum accounting.  A conflicting second
+        #: vote is double-voting evidence and never counts.
+        self._first_votes: dict[tuple[str, int, int], dict[str, str]] = {}
         self._prevoted: set[tuple[int, int]] = set()
         self._precommitted: set[tuple[int, int]] = set()
         self._committed_ids: set[str] = set()
@@ -123,6 +145,15 @@ class Validator:
         #: validation become memo lookups.
         self._check_memo: "OrderedDict[str, tuple[Any, bool]]" = OrderedDict()
         self.check_stats = {"calls": 0, "memo_hits": 0, "app_checks": 0}
+        #: Optional :class:`~repro.consensus.byzantine.ByzantineBehavior`
+        #: (installed by the fault plane's mark-byzantine control): when
+        #: set, this node *lies* — the behavior rewrites its outbound
+        #: proposals/votes and may swallow inbound traffic.  The honest
+        #: round machine below never consults it for its own decisions.
+        self.byzantine = None
+        #: Observed peer misbehavior (forged votes, double votes,
+        #: equivocating proposals), bounded by ``EVIDENCE_LIMIT``.
+        self.evidence: list[dict] = []
 
     # -- helpers ---------------------------------------------------------------
 
@@ -274,13 +305,24 @@ class Validator:
     def _publish_proposal(self, block: Block) -> None:
         if self.engine.network.is_crashed(self.node_id):
             return
+        if self.byzantine is not None and self.byzantine.publish_proposal(self, block):
+            return
         self._broadcast("PROPOSAL", block, block.size_bytes)
-        self._handle_proposal(block)
+        self._handle_proposal(block, self.node_id)
 
     # -- message handling -----------------------------------------------------------
 
+    def _record_evidence(self, kind: str, **fields: Any) -> None:
+        """Log one observed misbehavior (bounded; diagnostics only —
+        safety never depends on evidence, only on the checks that
+        produced it)."""
+        if len(self.evidence) < EVIDENCE_LIMIT:
+            self.evidence.append({"kind": kind, **fields})
+
     def handle_message(self, message: Message) -> None:
         """Network entry point."""
+        if self.byzantine is not None and self.byzantine.drop_inbound(self, message):
+            return
         kind = message.kind
         if kind == "TX":
             envelope: TxEnvelope = message.payload
@@ -292,7 +334,7 @@ class Validator:
                 except Exception:
                     pass
         elif kind == "PROPOSAL":
-            self._handle_proposal(message.payload)
+            self._handle_proposal(message.payload, message.sender)
         elif kind == "VOTE":
             self._handle_vote(message.payload, message.sender)
         elif kind == "CATCHUP_REQUEST":
@@ -300,10 +342,42 @@ class Validator:
         elif kind == "CATCHUP_BLOCKS":
             self._handle_catchup_blocks(message.payload)
 
-    def _handle_proposal(self, block: Block) -> None:
+    def _handle_proposal(self, block: Block, sender: str | None = None) -> None:
         if block.height < self.height:
             return
-        self._proposals[(block.height, block.round)] = block
+        order = self.engine.validator_order
+        due = order[(block.height + block.round) % len(order)]
+        if block.proposer != due or (sender is not None and sender != block.proposer):
+            # Proposer legitimacy: only the rotation's due proposer for
+            # (height, round) may propose, and proposals are not relayed,
+            # so the wire sender must *be* that proposer.  Anything else
+            # is an impostor block — drop it and keep the evidence.
+            self._record_evidence(
+                "forged_proposal",
+                height=block.height,
+                round=block.round,
+                proposer=block.proposer,
+                sender=sender,
+                block_id=block.block_id,
+            )
+            return
+        slot = self._proposals.setdefault((block.height, block.round), {})
+        if block.block_id not in slot:
+            if slot:
+                # Equivocation: a second, different block from the due
+                # proposer at one (height, round).  Both are retained —
+                # commit resolves whichever id earns a quorum — but this
+                # node's single prevote (below) already went to the
+                # first-seen sibling, so the proposer cannot mint extra
+                # voting power by multiplying blocks.
+                self._record_evidence(
+                    "equivocation",
+                    height=block.height,
+                    round=block.round,
+                    proposer=block.proposer,
+                    block_ids=sorted([*slot, block.block_id]),
+                )
+            slot[block.block_id] = block
         if block.height > self.height:
             self._request_catchup(block.proposer)
             return
@@ -331,7 +405,13 @@ class Validator:
         # lanes; the real compute runs signature checks batch-first and
         # memo-skips transactions this node already admitted.
         validation_cost = self._block_validation_cost(block.transactions)
-        valid = all(self._check_batch(block.transactions))
+        # A block must extend *this* node's chain: a proposal whose parent
+        # is not our last committed block earns a NIL prevote (an honest
+        # proposer at our height always builds on the same parent we hold,
+        # so only a lying proposer trips this).
+        valid = block.previous_id == self.last_block_id and all(
+            self._check_batch(block.transactions)
+        )
         block_id = block.block_id if valid else NIL
         if (
             block_id != NIL
@@ -346,27 +426,81 @@ class Validator:
         def send_prevote() -> None:
             if self.engine.network.is_crashed(self.node_id):
                 return
-            vote = Vote(PREVOTE, block.height, block.round, block_id, self.node_id)
-            self._broadcast("VOTE", vote, self.engine.config.vote_size_bytes)
-            self._handle_vote(vote, self.node_id)
+            self._send_vote(Vote(PREVOTE, block.height, block.round, block_id, self.node_id))
 
         self._loop.schedule_in(validation_cost, send_prevote)
 
+    def _send_vote(self, vote: Vote) -> None:
+        """Broadcast one of this node's votes and tally it locally.
+
+        The byzantine hook may rewrite the outbound set — withhold it,
+        duplicate it, or pair it with a conflicting vote — but the local
+        tally always counts the honest original, so a lying node's own
+        state machine stays coherent."""
+        outgoing = (
+            [vote]
+            if self.byzantine is None
+            else self.byzantine.outgoing_votes(self, vote)
+        )
+        for item in outgoing:
+            self._broadcast("VOTE", item, self.engine.config.vote_size_bytes)
+        self._handle_vote(vote, self.node_id)
+
     def _handle_vote(self, vote: Vote, sender: str) -> None:
+        if vote.voter != sender:
+            # Vote-sender authentication: votes are never relayed in this
+            # protocol, so a vote claiming a third validator's identity is
+            # a forgery by the wire sender.  Without this check a single
+            # byzantine node could mint a full quorum of phantom voters.
+            self._record_evidence(
+                "forged_vote",
+                phase=vote.phase,
+                height=vote.height,
+                round=vote.round,
+                voter=vote.voter,
+                sender=sender,
+            )
+            return
         if vote.height < self.height:
             return
         if vote.height > self.height:
             self._request_catchup(sender)
             return
-        key = (vote.phase, vote.height, vote.round, vote.block_id)
-        voters = self._votes.setdefault(key, set())
-        voters.add(vote.voter)
-        if len(voters) < self._quorum() or vote.block_id == NIL:
+        if self._tally_vote(vote) < self._quorum() or vote.block_id == NIL:
             return
         if vote.phase == PREVOTE:
             self._on_prevote_quorum(vote)
         else:
             self._on_precommit_quorum(vote)
+
+    def _tally_vote(self, vote: Vote) -> int:
+        """Count a vote into its (phase, height, round, block) bucket.
+
+        Quorum accounting is per *validator*, never per message: each
+        validator contributes at most one vote per (phase, height,
+        round) — the first one seen.  A conflicting second vote is
+        double-voting evidence and counts for nothing; a re-delivered
+        duplicate adds nothing to the bucket (sets dedupe it), so no
+        flood of copies can assemble a quorum.  Returns the bucket's
+        voter count after the vote (0 when it was discarded)."""
+        slot = self._first_votes.setdefault((vote.phase, vote.height, vote.round), {})
+        recorded = slot.get(vote.voter)
+        if recorded is None:
+            slot[vote.voter] = vote.block_id
+        elif recorded != vote.block_id:
+            self._record_evidence(
+                "double_vote",
+                phase=vote.phase,
+                height=vote.height,
+                round=vote.round,
+                voter=vote.voter,
+                block_ids=sorted([recorded, vote.block_id]),
+            )
+            return 0
+        key = (vote.phase, vote.height, vote.round, vote.block_id)
+        voters = self._votes.setdefault(key, set())
+        voters.add(vote.voter)
+        return len(voters)
 
     def _on_prevote_quorum(self, vote: Vote) -> None:
         key = (vote.height, vote.round)
@@ -386,8 +520,8 @@ class Validator:
             # and a polka from an abandoned round never *creates* a lock —
             # adopting one would precommit a value the node already voted
             # past, the other entrance to the height-fork race.
-            proposal = self._proposals.get(key)
-            if proposal is not None and proposal.block_id == vote.block_id:
+            proposal = self._proposals.get(key, {}).get(vote.block_id)
+            if proposal is not None:
                 self._locked_block = proposal
                 self._locked_round = vote.round
                 if self.persistence is not None:
@@ -414,14 +548,14 @@ class Validator:
             return
         if key not in self._precommitted:
             self._precommitted.add(key)
-            precommit = Vote(PRECOMMIT, vote.height, vote.round, vote.block_id, self.node_id)
-            self._broadcast("VOTE", precommit, self.engine.config.vote_size_bytes)
-            self._handle_vote(precommit, self.node_id)
+            self._send_vote(
+                Vote(PRECOMMIT, vote.height, vote.round, vote.block_id, self.node_id)
+            )
         # Blockchain pipelining: the next proposer may start assembling
         # height H+1 as soon as H has a prevote quorum.
         if self.engine.config.pipelining and self.is_proposer(vote.height + 1, 0):
-            block = self._proposals.get((vote.height, vote.round))
-            if block is not None and block.block_id == vote.block_id:
+            block = self._proposals.get((vote.height, vote.round), {}).get(vote.block_id)
+            if block is not None:
                 self._pipeline_next(block)
 
     def _pipeline_next(self, parent: Block) -> None:
@@ -433,8 +567,8 @@ class Validator:
     def _on_precommit_quorum(self, vote: Vote) -> None:
         if vote.height != self.height:
             return
-        block = self._proposals.get((vote.height, vote.round))
-        if block is None or block.block_id != vote.block_id:
+        block = self._proposals.get((vote.height, vote.round), {}).get(vote.block_id)
+        if block is None:
             return
         self._commit_block(block)
 
@@ -500,6 +634,11 @@ class Validator:
         self._votes = {
             key: value for key, value in self._votes.items() if key[1] > committed_height
         }
+        self._first_votes = {
+            key: value
+            for key, value in self._first_votes.items()
+            if key[1] > committed_height
+        }
         self._prevoted = {key for key in self._prevoted if key[0] > committed_height}
         self._precommitted = {key for key in self._precommitted if key[0] > committed_height}
         self._proposed_rounds = {
@@ -557,6 +696,8 @@ class Validator:
     # -- catch-up ---------------------------------------------------------------------
 
     def _request_catchup(self, peer: str) -> None:
+        if self.byzantine is not None and self.byzantine.suppress_catchup(self):
+            return
         now = self._loop.clock.now
         if now - self._catchup_requested_at < 0.5:
             return
@@ -590,6 +731,8 @@ class Validator:
         self._check_memo.clear()
         self._proposals.clear()
         self._votes.clear()
+        self._first_votes.clear()
+        self.evidence.clear()
         self._prevoted.clear()
         self._precommitted.clear()
         self._proposed_rounds.clear()

@@ -1,0 +1,212 @@
+"""Deterministic byzantine validator behaviors.
+
+The crash-fault half of the chaos harness (ISSUE 3/5) never made a node
+*lie* — it only made nodes disappear.  This module is the lying half: a
+:class:`ByzantineBehavior` installed on a :class:`~repro.consensus.bft.
+Validator` (``validator.byzantine = make_behavior(kind)``) intercepts
+the node's outbound consensus traffic and, for the stale-replica kind,
+its inbound traffic too.  The honest round machine keeps running
+underneath; the behavior only rewrites what leaves (or enters) the node,
+which keeps every attack expressible as a pure function of state the
+simulation already determines — no new randomness, so seeded replay
+stays byte-identical.
+
+The four kinds mirror the classic BFT adversary taxonomy:
+
+* ``equivocate`` — the due proposer builds *two* blocks for one
+  (height, round) — same transactions, different order, hence different
+  value ids — and sends each to a disjoint half of the peer set.  It
+  also double-votes both siblings (an equivocating proposer that votes
+  honestly would immediately out itself), spamming each vote
+  quorum-many times to attack per-message tallies.
+* ``double_vote`` — votes for two different block ids in one
+  (phase, height, round), again with quorum-many copies of each.
+* ``withhold`` — participates in rounds but broadcasts no votes
+  (silent-but-alive; the cluster must reach quorum without it).
+* ``stale`` — silently stops applying new blocks (drops inbound
+  proposals/votes/catch-up and never requests catch-up itself) while
+  still answering peers' catch-up requests from its stale chain — the
+  lying replica that serves old reads as if they were current.
+
+Safety claim under test: with at most ⌊(n−1)/3⌋ concurrently-byzantine
+validators per shard, none of these behaviors may make two honest nodes
+commit different blocks at one height (``honest_no_divergence``), and
+the defenses they probe — per-validator quorum dedupe, vote-sender
+authentication, proposer legitimacy, the lock rule — each have a
+mutation test proving the invariant fires when they are removed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.consensus.types import NIL, Block, Vote
+from repro.crypto.hashing import hash_document
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.consensus.bft import Validator
+    from repro.sim.network import Message
+
+#: Behavior kinds installable through :func:`make_behavior`.
+BEHAVIOR_KINDS = ("equivocate", "double_vote", "withhold", "stale")
+
+
+class ByzantineBehavior:
+    """Hook surface the round machine consults; the base class is an
+    honest passthrough so subclasses override only what they corrupt."""
+
+    kind = "honest"
+
+    def outgoing_votes(self, validator: "Validator", vote: Vote) -> list[Vote]:
+        """Votes to broadcast in place of ``vote`` (may be empty)."""
+        return [vote]
+
+    def publish_proposal(self, validator: "Validator", block: Block) -> bool:
+        """Take over proposal publication; True = the behavior sent it."""
+        return False
+
+    def drop_inbound(self, validator: "Validator", message: "Message") -> bool:
+        """True = silently swallow an inbound message."""
+        return False
+
+    def suppress_catchup(self, validator: "Validator") -> bool:
+        """True = never ask peers for missed blocks."""
+        return False
+
+
+def sibling_block(block: Block) -> Block | None:
+    """A second, different-id block with the same parent and transactions.
+
+    Block ids hash the *ordered* transaction list, so reversing the
+    order yields a block every honest validator finds valid — the
+    sharpest possible equivocation, because both siblings can win
+    honest prevotes.  With fewer than two transactions no distinct
+    sibling exists (``None``)."""
+    if len(block.transactions) < 2:
+        return None
+    return Block.build(
+        block.height,
+        block.round,
+        block.proposer,
+        list(reversed(block.transactions)),
+        block.previous_id,
+    )
+
+
+def conflicting_vote(validator: "Validator", vote: Vote) -> Vote:
+    """A vote by the same voter for a *different* block id in the same
+    (phase, height, round) — a real rival proposal when one is known,
+    else a deterministic fabricated id."""
+    slot = validator._proposals.get((vote.height, vote.round), {})
+    rival = next((bid for bid in sorted(slot) if bid != vote.block_id), None)
+    if rival is None:
+        rival = hash_document({"byzantine-rival-of": vote.block_id})
+    return Vote(vote.phase, vote.height, vote.round, rival, vote.voter)
+
+
+class DoubleVoter(ByzantineBehavior):
+    """Votes twice per (phase, height, round), quorum-many copies each.
+
+    Against per-validator tallies this is pure noise (plus double-vote
+    evidence on every honest node); against a per-*message* tally a
+    single double-voter assembles a full quorum alone — the mutation
+    test that keeps the dedupe honest."""
+
+    kind = "double_vote"
+
+    def outgoing_votes(self, validator: "Validator", vote: Vote) -> list[Vote]:
+        if vote.block_id == NIL:
+            return [vote]
+        rival = conflicting_vote(validator, vote)
+        copies = validator._quorum()
+        return [vote] * copies + [rival] * copies
+
+
+class EquivocatingProposer(DoubleVoter):
+    """Sends two same-(height, round) blocks to disjoint peer halves.
+
+    Inherits the double-voting vote stream: a proposer equivocating on
+    blocks but voting for only one of them would contain itself."""
+
+    kind = "equivocate"
+
+    def publish_proposal(self, validator: "Validator", block: Block) -> bool:
+        network = validator.engine.network
+        peers = [
+            node
+            for node in validator.engine.validator_order
+            if node != validator.node_id
+        ]
+        sibling = sibling_block(block)
+        if sibling is None:
+            # Not enough transactions for a distinct sibling: fall back to
+            # selective disclosure — only half the peers learn the
+            # proposal exists at all.
+            kept = peers[: max(1, len(peers) // 2)]
+            for peer in kept:
+                network.send(
+                    validator.node_id, peer, "PROPOSAL", block, block.size_bytes
+                )
+        else:
+            mid = len(peers) // 2
+            for peer in peers[:mid]:
+                network.send(
+                    validator.node_id, peer, "PROPOSAL", block, block.size_bytes
+                )
+            for peer in peers[mid:]:
+                network.send(
+                    validator.node_id, peer, "PROPOSAL", sibling, sibling.size_bytes
+                )
+        validator._handle_proposal(block, validator.node_id)
+        return True
+
+
+class VoteWithholder(ByzantineBehavior):
+    """Broadcasts no votes at all (its own local tally still counts)."""
+
+    kind = "withhold"
+
+    def outgoing_votes(self, validator: "Validator", vote: Vote) -> list[Vote]:
+        return []
+
+
+class StaleReplica(ByzantineBehavior):
+    """Freezes its replica and serves stale reads.
+
+    Drops every inbound message that could advance its chain, never
+    requests catch-up, and goes silent on votes — but keeps answering
+    ``CATCHUP_REQUEST`` from its (increasingly stale) chain, so lagging
+    peers that ask *it* get old-but-honest prefixes."""
+
+    kind = "stale"
+
+    def outgoing_votes(self, validator: "Validator", vote: Vote) -> list[Vote]:
+        return []
+
+    def drop_inbound(self, validator: "Validator", message: "Message") -> bool:
+        return message.kind in ("TX", "PROPOSAL", "VOTE", "CATCHUP_BLOCKS")
+
+    def suppress_catchup(self, validator: "Validator") -> bool:
+        return True
+
+
+_REGISTRY = {
+    "equivocate": EquivocatingProposer,
+    "double_vote": DoubleVoter,
+    "withhold": VoteWithholder,
+    "stale": StaleReplica,
+}
+
+
+def make_behavior(kind: str) -> ByzantineBehavior:
+    """Instantiate one behavior by kind.
+
+    Raises:
+        ValueError: for unknown kinds.
+    """
+    try:
+        return _REGISTRY[kind]()
+    except KeyError:
+        raise ValueError(
+            f"unknown byzantine kind {kind!r}; expected one of {BEHAVIOR_KINDS}"
+        ) from None

@@ -153,3 +153,7 @@ class Mempool:
 
     def pending_ids(self) -> list[str]:
         return list(self._pool)
+
+    def pending_envelopes(self) -> list[TxEnvelope]:
+        """Resident (admitted, uncommitted) envelopes in FIFO order."""
+        return list(self._pool.values())

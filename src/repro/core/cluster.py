@@ -354,9 +354,11 @@ class SmartchainCluster:
         # node state: they must survive the context rebuild or remote
         # locks would stop being visible to local validation.
         guards = list(server.context.spend_guards)
+        gates = list(server.context.ingress_gates)
         server.database = recovered.database
         server.context = ValidationContext(server.database, self.reserved)
         server.context.spend_guards.extend(guards)
+        server.context.ingress_gates.extend(gates)
         server.nested = NestedTransactionProcessor(self.reserved.escrow, server.database)
         locked_round, locked_block = recovered.locked()
         self.engine.validator(node_id).restore_durable(
@@ -398,6 +400,38 @@ class SmartchainCluster:
         2PC lock on a local UTXO visible to local double-spend checks."""
         for server in self.servers.values():
             server.context.spend_guards.append(guard)
+
+    def add_ingress_gate(self, gate) -> None:
+        """Install an admission gatekeeper ``payload -> reason | None``
+        on every node.  The sharded deployment uses one to keep
+        transactions spending foreign-homed outputs out of this shard's
+        mempools unless they arrive via their own 2PC commit-point
+        submission — a directly injected copy would otherwise commit
+        intra-shard while the coordinator aborts, leaving the remote
+        input unconsumed (a cross-shard double-spend door found by the
+        adversarial double-submit client)."""
+        for server in self.servers.values():
+            server.context.ingress_gates.append(gate)
+
+    def inflight_spender(self, ref) -> str | None:
+        """Id of an admitted-but-uncommitted transaction spending ``ref``,
+        or None.  Scans every validator's mempool (proposals assemble via
+        non-destructive ``peek``, so in-flight block contents are still
+        pooled).  The 2PC participant refuses to lock an output a local
+        rival is already racing for — block delivery no longer consults
+        the lock table, so a lock granted over a pooled rival could be
+        broken by that rival's commit."""
+        for node_id in self.engine.validator_order:
+            for envelope in self.engine.validator(node_id).mempool.pending_envelopes():
+                for item in envelope.payload.get("inputs", []):
+                    fulfills = item.get("fulfills")
+                    if (
+                        fulfills
+                        and fulfills["transaction_id"] == ref.transaction_id
+                        and fulfills["output_index"] == ref.output_index
+                    ):
+                        return envelope.tx_id
+        return None
 
     def import_reference_payloads(self, payloads: list[dict[str, Any]]) -> int:
         """Replicate foreign transaction payloads into every node's store.

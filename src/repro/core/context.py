@@ -37,6 +37,20 @@ class ValidationContext:
         #: Extra spend oracles consulted by :meth:`output_spender` —
         #: the lock hook the sharding coordinator installs.
         self.spend_guards: list[SpendGuard] = []
+        #: Admission-only gatekeepers ``payload -> reason | None`` —
+        #: the sharding layer uses one to refuse transactions spending
+        #: foreign-homed outputs unless they arrive through their 2PC
+        #: commit-point submission.  Never consulted by block delivery.
+        self.ingress_gates: list[Any] = []
+        #: Whether :meth:`output_spender` consults the guards.  Admission
+        #: paths leave this True; block delivery turns it off, because
+        #: the guards read the shard agent's *live* lock table — replicas
+        #: deliver the same block at different simulated instants, and a
+        #: lock released in between would make them disagree on the
+        #: block's valid transactions (found by the byzantine chaos
+        #: sweep, seed 7).  DeliverTx must be a pure function of
+        #: committed + staged state.
+        self.use_spend_guards = True
 
     # -- committed-state queries (Algorithm 2/3 helpers) -----------------------
 
@@ -70,10 +84,11 @@ class ValidationContext:
         """Id of the committed transaction spending ``ref``, or None."""
         if (ref.transaction_id, ref.output_index) in self._staged_spends:
             return "<staged>"
-        for guard in self.spend_guards:
-            holder = guard(ref)
-            if holder is not None:
-                return holder
+        if self.use_spend_guards:
+            for guard in self.spend_guards:
+                holder = guard(ref)
+                if holder is not None:
+                    return holder
         spender = self._database.collection("transactions").find_one(
             {
                 "inputs.fulfills.transaction_id": ref.transaction_id,

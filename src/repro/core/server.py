@@ -26,7 +26,7 @@ from repro.consensus.types import Block, TxEnvelope
 from repro.core.context import ValidationContext
 from repro.core.nested import NestedTransactionProcessor
 from repro.core.parallel import ConflictScheduler
-from repro.core.transaction import ACCEPT_BID, RETURN
+from repro.core.transaction import ACCEPT_BID, RETURN, OutputRef
 from repro.core.validation import TransactionValidator
 from repro.crypto.keys import ReservedAccounts
 from repro.sim.clock import SimClock
@@ -139,9 +139,37 @@ class SmartchainServer:
     # -- Application protocol ----------------------------------------------------
 
     def check_tx(self, envelope: TxEnvelope) -> bool:
-        """CheckTx: stateless re-validation before mempool admission."""
+        """CheckTx: stateless re-validation before mempool admission —
+        plus the 2PC lock oracle.  Admission (not delivery) is where
+        remote locks must bite: an envelope gossiped or injected
+        directly into a node's mempool never passed the facade's
+        receiver validation, and once it is pooled nothing before
+        delivery would notice its inputs are locked or tombstoned by a
+        cross-shard spend.  Per-node and advisory, so the time-varying
+        lock table is safe to consult here."""
         self.stats["checked"] += 1
-        return self.validator.check_tx(envelope.payload)
+        if not self.validator.check_tx(envelope.payload):
+            return False
+        if self._spends_guarded_output(envelope.payload):
+            return False
+        for gate in self.context.ingress_gates:
+            if gate(envelope.payload) is not None:
+                return False
+        return True
+
+    def _spends_guarded_output(self, payload: dict[str, Any]) -> bool:
+        """True if any input ref is held by a 2PC lock or tombstone."""
+        if not self.context.spend_guards:
+            return False
+        for item in payload.get("inputs", []):
+            fulfills = item.get("fulfills")
+            if not fulfills:
+                continue
+            ref = OutputRef(fulfills["transaction_id"], fulfills["output_index"])
+            for guard in self.context.spend_guards:
+                if guard(ref) is not None:
+                    return True
+        return False
 
     def check_block(self, envelopes: list[TxEnvelope]) -> list[bool]:
         """Whole-block CheckTx: every signature in the block settles
@@ -153,13 +181,24 @@ class SmartchainServer:
         )
 
     def deliver_tx(self, envelope: TxEnvelope) -> bool:
-        """DeliverTx: the final stateful validation before mutating state."""
+        """DeliverTx: the final stateful validation before mutating state.
+
+        Runs with the 2PC spend guards disabled: every replica must reach
+        the same verdict for the same block, and the guards consult the
+        shard agent's live lock table — time-varying state outside the
+        chain.  Locks gate *admission* (receiver validation and the
+        participant's prepare vote); a transaction that made it into a
+        committed block is judged on committed + staged state alone.
+        """
         self.context.now = self.clock.now
+        self.context.use_spend_guards = False
         try:
             transaction = self.validator.validate_semantics(self.context, envelope.payload)
         except ValidationError:
             self.stats["rejected"] += 1
             return False
+        finally:
+            self.context.use_spend_guards = True
         self.context.stage(transaction.to_dict())
         self.stats["delivered"] += 1
         return True

@@ -106,6 +106,9 @@ class ShardedCluster:
             cluster.engine.commit_listeners.append(
                 lambda record, sid=shard_id: self._on_shard_commit(sid, record)
             )
+            cluster.add_ingress_gate(
+                lambda payload, sid=shard_id: self._foreign_input_gate(sid, payload)
+            )
 
     # -- topology ---------------------------------------------------------------
 
@@ -172,6 +175,44 @@ class ShardedCluster:
             self._cross_callbacks[tx_id] = callback
         self._begin_cross(payload, decision, attempt=0)
         return SubmitResult(tx_id, operation, accepted=True)
+
+    def _foreign_input_gate(self, shard_id: str, payload: dict[str, Any]) -> str | None:
+        """Admission gate: spends of foreign-homed outputs enter a shard
+        chain only through their 2PC commit-point submission.
+
+        A cross-shard payload injected straight into a home-shard mempool
+        (gossip from an adversarial client, or a double-submit replay)
+        would validate against locally imported reference payloads and
+        commit intra-shard — while the coordinator's 2PC round aborts and
+        the remote shard never consumes the input.  Worse, if the rogue
+        copy commits *first*, the coordinator's own home submission is
+        deduplicated and its settle callback never fires, parking the
+        round in ``commit_pending`` with the remote locks held forever.
+        The gate closes both doors: admission is per-node and advisory,
+        so consulting the live outbox here is safe — block delivery
+        never calls it."""
+        verdict: str | None = None
+        for item in payload.get("inputs") or []:
+            fulfills = item.get("fulfills")
+            if not fulfills:
+                continue
+            if self.router.home_of_tx(fulfills["transaction_id"]) == shard_id:
+                continue
+            if verdict is None:
+                doc = self.agents[shard_id].outbox_record(payload.get("id", ""))
+                if doc is None:
+                    verdict = "absent"
+                elif doc["state"] == "commit_pending" or doc["outcome"] == "committed":
+                    verdict = "ok"
+                else:
+                    verdict = doc["state"]
+            if verdict != "ok":
+                return (
+                    f"foreign input {fulfills['transaction_id'][:8]}:"
+                    f"{fulfills['output_index']} outside 2PC "
+                    f"(outbox={verdict})"
+                )
+        return None
 
     def _begin_cross(
         self, payload: dict[str, Any], decision: RoutingDecision, attempt: int

@@ -311,6 +311,13 @@ class TwoPhaseCoordinator:
             if existing["outcome"] != "aborted":
                 return  # in flight or already committed: nothing to do
             self._outbox.delete_many({"tx_id": tx_id})
+            # Round state from the aborted attempt must not leak into
+            # the retry: a stale decision-broadcast timer seeing the old
+            # round's complete ack set would mark the fresh record done
+            # before any participant is even prepared (found by the
+            # byzantine chaos sweep, seed 16).
+            self._acks.pop(tx_id, None)
+            self._disarm("retry", tx_id)
         participants = {
             shard: [[ref.transaction_id, ref.output_index] for ref in refs]
             for shard, refs in decision.input_shards.items()
@@ -419,7 +426,11 @@ class TwoPhaseCoordinator:
 
     def _broadcast_decision(self, tx_id: str, outcome: str, attempt: int) -> None:
         doc = self._outbox.find_one({"tx_id": tx_id}, copy=False)
-        if doc is None or doc["state"] == "done":
+        if doc is None or doc["state"] == "done" or doc["outcome"] != outcome:
+            # Gone, finished, or the record no longer carries the
+            # decision this broadcast was armed for (a client re-begin
+            # replaced an aborted row) — a stale retry must not touch
+            # the new round.
             return
         acked = self._acks.setdefault(tx_id, set())
         pending = [shard for shard in doc["participants"] if shard not in acked]
@@ -502,6 +513,25 @@ class TwoPhaseCoordinator:
                     is None
                 ):
                     reason = f"{ref.transaction_id[:8]}:{ref.output_index} already spent"
+                    break
+                rival = self.cluster.inflight_spender(ref)
+                if rival == tx_id:
+                    # A pooled copy of the *same* transaction (e.g. an
+                    # adversarial double-submit of the cross-shard tx
+                    # itself) is not a rival: granting the lock lets 2PC
+                    # commit, and the pooled duplicate is then rejected
+                    # deterministically against committed state.
+                    rival = None
+                if rival is not None:
+                    # A pooled local spend is already racing for this
+                    # output.  Delivery judges blocks on committed state
+                    # alone (no lock-table reads), so granting the lock
+                    # would not stop the rival's commit — vote no and
+                    # let presumed abort release the coordinator.
+                    reason = (
+                        f"{ref.transaction_id[:8]}:{ref.output_index} contended "
+                        f"by pooled rival {rival[:8]}"
+                    )
                     break
                 payloads.append(deep_copy_json(prior))
         if reason is not None:
@@ -717,6 +747,12 @@ class TwoPhaseCoordinator:
     def active_locks(self) -> list[dict[str, Any]]:
         """Prepared (not yet decided) locks this shard currently holds."""
         return self._locks.find({"status": "prepared"})
+
+    def outbox_record(self, tx_id: str) -> dict[str, Any] | None:
+        """This coordinator's durable 2PC record for ``tx_id`` (or None).
+        The sharded facade's ingress gate reads it to tell a legitimate
+        commit-point home submission from a rogue injected copy."""
+        return self._outbox.find_one({"tx_id": tx_id}, copy=False)
 
     def unfinished(self) -> list[dict[str, Any]]:
         """Outbox records not yet fully acknowledged."""

@@ -9,9 +9,10 @@ A run is ``steps`` harness steps.  Each step
 
 1. applies any :class:`~repro.simtest.schedule.FaultAction` the plan
    scheduled there (crashes, partitions, chaos delays, time jumps,
-   bursts, 2PC phase traps),
-2. submits one workload op (paper-mix intent, churn transfer, or a
-   conflict pair),
+   bursts, 2PC phase traps, byzantine marks/heals),
+2. submits one workload op (paper-mix intent, churn transfer, a
+   conflict pair, or — with ``adversarial_rate`` — an adversarial
+   double-submit/forgery),
 3. advances the shared event loop by one slice of simulated time, and
 4. runs every due per-step invariant.
 
@@ -33,7 +34,12 @@ from repro.sharding.cluster import ShardedCluster, ShardedClusterConfig
 from repro.sim.rng import SeededRng
 from repro.simtest.invariants import InvariantChecker, Violation
 from repro.simtest.plane import FaultPlane
-from repro.simtest.schedule import FaultAction, Schedule, ScheduleGenerator
+from repro.simtest.schedule import (
+    BYZANTINE_BEHAVIORS,
+    FaultAction,
+    Schedule,
+    ScheduleGenerator,
+)
 from repro.simtest.workload import TraceWorkload
 
 
@@ -57,6 +63,14 @@ class SimtestConfig:
     step_duration: float = 0.05
     #: Per-step probability that a new fault starts.
     fault_rate: float = 0.12
+    #: Per-step probability that a validator turns byzantine (lying
+    #: behaviors from repro.consensus.byzantine, capped below n/3 per
+    #: shard by the schedule).  0 replays pre-byzantine plans
+    #: byte-for-byte.
+    byzantine_rate: float = 0.0
+    #: Per-step probability of an adversarial-client op (double submit /
+    #: forged signature) instead of an honest one.
+    adversarial_rate: float = 0.0
     #: Workload mix knobs (see TraceWorkload).
     transfer_rate: float = 0.35
     conflict_rate: float = 0.10
@@ -79,6 +93,8 @@ class SimtestConfig:
             "durable": self.durable,
             "step_duration": self.step_duration,
             "fault_rate": self.fault_rate,
+            "byzantine_rate": self.byzantine_rate,
+            "adversarial_rate": self.adversarial_rate,
             "transfer_rate": self.transfer_rate,
             "conflict_rate": self.conflict_rate,
             "cross_rate": self.cross_rate,
@@ -116,6 +132,10 @@ class ReproBundle:
             parts.append(f"--validators {self.config['n_validators']}")
         if self.config.get("fault_rate") != defaults.fault_rate:
             parts.append(f"--fault-rate {self.config['fault_rate']}")
+        if self.config.get("byzantine_rate", 0.0) != defaults.byzantine_rate:
+            parts.append(f"--byzantine-rate {self.config['byzantine_rate']}")
+        if self.config.get("adversarial_rate", 0.0) != defaults.adversarial_rate:
+            parts.append(f"--adversarial-rate {self.config['adversarial_rate']}")
         if not self.config.get("durable", True):
             parts.append("--volatile")
         return " ".join(parts)
@@ -183,9 +203,9 @@ class SimHarness:
                 )
             )
         self.plane = FaultPlane(cluster)
-        self.schedule = ScheduleGenerator(self.rng, self.plane, cfg.fault_rate).generate(
-            cfg.steps
-        )
+        self.schedule = ScheduleGenerator(
+            self.rng, self.plane, cfg.fault_rate, byzantine_rate=cfg.byzantine_rate
+        ).generate(cfg.steps)
         self.workload = TraceWorkload(
             self.plane,
             self.rng,
@@ -194,6 +214,7 @@ class SimHarness:
             transfer_rate=cfg.transfer_rate,
             conflict_rate=cfg.conflict_rate,
             cross_rate=cfg.cross_rate,
+            adversarial_rate=cfg.adversarial_rate,
         )
         self.checker = InvariantChecker(self.plane)
         # Phase traps: armed by the schedule, sprung by the agents.
@@ -282,6 +303,10 @@ class SimHarness:
             plane.time_jump(float(action.arg))
         elif kind == "burst":
             return self.workload.burst(int(action.arg))
+        elif kind in BYZANTINE_BEHAVIORS:
+            plane.mark_byzantine(action.shard, action.node, BYZANTINE_BEHAVIORS[kind])
+        elif kind == "byz_heal":
+            plane.heal_byzantine(action.shard, action.node)
         else:
             raise ValueError(f"unknown fault action {kind!r}")
         return action.describe()

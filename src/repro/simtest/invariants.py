@@ -334,6 +334,95 @@ def mempool_discipline(plane: FaultPlane) -> list[str]:
     return violations
 
 
+# -- byzantine-fault invariants ---------------------------------------------------
+
+
+def honest_no_divergence(plane: FaultPlane) -> list[str]:
+    """No two *honest* nodes commit different blocks at any height.
+
+    The f<n/3 safety claim in executable form: while at most
+    ⌊(n−1)/3⌋ validators per shard are byzantine, the honest replicas'
+    consensus chains must agree wherever they overlap — equivocation,
+    double voting and withheld votes may slow a shard down but never
+    split it.  A schedule that over-corrupts a shard is itself flagged:
+    past the cap the claim is vacuous and the run is miscounted, not
+    unsafe."""
+    violations = []
+    for shard_id in plane.shard_ids:
+        shard = plane.shard_cluster(shard_id)
+        order = shard.engine.validator_order
+        byzantine = set(plane.byzantine_nodes(shard_id))
+        cap = (len(order) - 1) // 3
+        if len(byzantine) > cap:
+            violations.append(
+                f"{shard_id}: {len(byzantine)} byzantine validators exceed "
+                f"the f<n/3 cap ({cap}) — schedule is not survivable"
+            )
+            continue
+        by_height: dict[int, dict[str, str]] = {}
+        for node_id in order:
+            if node_id in byzantine:
+                continue
+            for block in shard.engine.validator(node_id).chain:
+                by_height.setdefault(block.height, {})[node_id] = block.block_id
+        for height, views in sorted(by_height.items()):
+            if len(set(views.values())) > 1:
+                detail = " ".join(
+                    f"{node}={block_id[:8]}" for node, block_id in sorted(views.items())
+                )
+                violations.append(
+                    f"{shard_id}: honest nodes diverge at height {height}: {detail}"
+                )
+    return violations
+
+
+def no_forged_admission(plane: FaultPlane) -> list[str]:
+    """No forged-signature transaction is ever applied.
+
+    The adversarial workload records every payload it submitted with a
+    mutated signature in ``plane.forged_tx_ids``; signature verification
+    (and the identity-guarded verdict memos in front of it) must reject
+    every one of them before a block carries it."""
+    if not plane.forged_tx_ids:
+        return []
+    applied = applied_transactions(plane)
+    violations = []
+    for tx_id in sorted(plane.forged_tx_ids & set(applied)):
+        violations.append(
+            f"forged-signature tx {tx_id[:8]} applied on {applied[tx_id][0]}"
+        )
+    return violations
+
+
+def equivocation_contained(plane: FaultPlane) -> list[str]:
+    """Byzantine evidence never rolls an honest chain back.
+
+    Watches every honest node's consensus chain between checks: the
+    previous observation must be a *prefix* of the current one.  An
+    equivocating proposer may delay a height or leave rival proposals
+    in flight, but once an honest replica commits a block that block
+    stays committed — containment means evidence and discarded rivals,
+    never history rewrites.  (Crash-restarts re-baseline the watch in
+    :meth:`FaultPlane.crash_restart`: rewinding to the durable prefix
+    is the durability contract, not a byzantine rollback.)"""
+    violations = []
+    for shard_id in plane.shard_ids:
+        shard = plane.shard_cluster(shard_id)
+        byzantine = set(plane.byzantine_nodes(shard_id))
+        for node_id in shard.engine.validator_order:
+            if node_id in byzantine:
+                continue
+            chain = [block.block_id for block in shard.engine.validator(node_id).chain]
+            previous = plane.chain_watch.get((shard_id, node_id))
+            if previous is not None and chain[: len(previous)] != previous:
+                violations.append(
+                    f"{shard_id}/{node_id}: committed chain rolled back "
+                    f"(had {len(previous)} blocks, prefix no longer holds)"
+                )
+            plane.chain_watch[(shard_id, node_id)] = chain
+    return violations
+
+
 # -- quiesce invariants -----------------------------------------------------------
 
 
@@ -456,6 +545,12 @@ DEFAULT_INVARIANTS: list[Invariant] = [
     Invariant("lock_outbox_consistency", lock_outbox_consistency, sharded_only=True),
     Invariant("metrics_consistency", metrics_consistency),
     Invariant("mempool_discipline", mempool_discipline, every=5),
+    # Byzantine-fault family: safety under lying validators and forging
+    # clients (ISSUE 6).  Divergence/rollback checks replay in-memory
+    # chains, so they share the chain-replayers' cadence.
+    Invariant("honest_no_divergence", honest_no_divergence, every=5),
+    Invariant("no_forged_admission", no_forged_admission),
+    Invariant("equivocation_contained", equivocation_contained, every=5),
     Invariant("no_stuck_locks", no_stuck_locks, scope="quiesce", sharded_only=True),
     Invariant("outbox_terminal", outbox_terminal, scope="quiesce", sharded_only=True),
     Invariant("all_cross_settled", all_cross_settled, scope="quiesce", sharded_only=True),

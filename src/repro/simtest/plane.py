@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.consensus.byzantine import make_behavior
 from repro.core.cluster import SmartchainCluster, TxRecord
 from repro.sharding.cluster import ShardedCluster
 from repro.sharding.coordinator import COORDINATOR_NODE, TwoPhaseCoordinator
@@ -47,6 +48,17 @@ class FaultPlane:
         self._chaotic: set[str] = set()
         #: Shards currently split by :meth:`partition_minority`.
         self._partitioned: dict[str, list[str]] = {}
+        #: shard -> {node -> byzantine behavior kind} currently lying.
+        self._byzantine: dict[str, dict[str, str]] = {}
+        #: (shard, node) -> last observed chain (block ids) of each
+        #: honest node, for the prefix-monotonicity half of
+        #: ``equivocation_contained``.  Reset on crash-restart, where a
+        #: node legitimately rewinds to its durable prefix.
+        self.chain_watch: dict[tuple[str, str], list[str]] = {}
+        #: Transaction ids the adversarial workload submitted with forged
+        #: or mutated signatures — ``no_forged_admission`` asserts none
+        #: of them ever reaches an applied block.
+        self.forged_tx_ids: set[str] = set()
         #: (loop position, result) memo for invariants.applied_transactions.
         self._applied_cache: tuple | None = None
 
@@ -89,6 +101,48 @@ class FaultPlane:
         shard = self._shards[shard_id]
         return [n for n in shard.engine.validator_order if shard.network.is_crashed(n)]
 
+    # -- byzantine faults ---------------------------------------------------------
+
+    def byzantine_cap(self, shard_id: str) -> int:
+        """Max concurrently-byzantine validators a shard's quorum math
+        tolerates: f = ⌊(n−1)/3⌋."""
+        return (len(self.nodes(shard_id)) - 1) // 3
+
+    def mark_byzantine(self, shard_id: str, node_id: str, kind: str) -> None:
+        """Turn one validator into a liar (see
+        :mod:`repro.consensus.byzantine` for the behavior kinds).
+
+        Raises:
+            ValueError: if the mark would push the shard past its
+                f<n/3 cap — a schedule that over-corrupts a shard can no
+                longer distinguish broken safety from starved quorums.
+        """
+        marked = self._byzantine.setdefault(shard_id, {})
+        if node_id not in marked and len(marked) >= self.byzantine_cap(shard_id):
+            raise ValueError(
+                f"{shard_id}: marking {node_id} byzantine would exceed the "
+                f"f<n/3 cap ({self.byzantine_cap(shard_id)})"
+            )
+        self._shards[shard_id].engine.validator(node_id).byzantine = make_behavior(kind)
+        marked[node_id] = kind
+
+    def heal_byzantine(self, shard_id: str, node_id: str) -> None:
+        """Restore a marked validator to honesty and resync it — a node
+        that withheld votes or froze its replica lags exactly like a
+        briefly crashed one."""
+        self._byzantine.get(shard_id, {}).pop(node_id, None)
+        shard = self._shards[shard_id]
+        shard.engine.validator(node_id).byzantine = None
+        if not shard.network.is_crashed(node_id):
+            shard.resync_node(node_id)
+
+    def byzantine_nodes(self, shard_id: str) -> list[str]:
+        """Currently-byzantine validator ids of one shard, sorted."""
+        return sorted(self._byzantine.get(shard_id, {}))
+
+    def byzantine_kind(self, shard_id: str, node_id: str) -> str | None:
+        return self._byzantine.get(shard_id, {}).get(node_id)
+
     # -- crash-restart faults (durability required) --------------------------------
 
     @property
@@ -101,6 +155,10 @@ class FaultPlane:
         """Kill a node, discard its memory, restore it purely from its
         SimDisk (losing the device's unsynced tail, optionally keeping
         ``torn_bytes`` of it as a torn write), and rejoin the cluster."""
+        # A restart-from-disk legitimately rewinds the node to its durable
+        # prefix; the chain watch must re-baseline or it would misread the
+        # rewind as a byzantine rollback.
+        self.chain_watch.pop((shard_id, node_id), None)
         self._shards[shard_id].restart_node_from_disk(node_id, torn_bytes=torn_bytes)
 
     def crash_restart_coordinator(self, shard_id: str, torn_bytes: int = 0) -> None:
@@ -187,6 +245,8 @@ class FaultPlane:
         by ``rounds`` — parked retries need at most one kick per side).
         """
         for shard_id in self.shard_ids:
+            for node_id in list(self._byzantine.get(shard_id, {})):
+                self.heal_byzantine(shard_id, node_id)
             if shard_id in self._partitioned:
                 self.heal(shard_id)
             else:

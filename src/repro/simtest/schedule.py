@@ -5,11 +5,13 @@ sparse map from harness step to one :class:`FaultAction` (the workload
 half is drawn live from the same master seed).  The
 :class:`ScheduleGenerator` composes plans from the full fault vocabulary
 — node crash/restart, coordinator crash (timed or armed on an exact 2PC
-phase), network partition/heal, message delay/reorder, clock skew and
-mempool-pressure bursts — while keeping every plan *survivable*: at most
-one disruption per shard at a time, every fault paired with a repair, so
-the BFT quorums stay live and a red run always means a broken invariant,
-never a schedule that starved the system.
+phase), network partition/heal, message delay/reorder, clock skew,
+mempool-pressure bursts and the byzantine family (equivocating
+proposers, double voters, vote withholders, stale replicas) — while
+keeping every plan *survivable*: at most one disruption per shard at a
+time, fewer than n/3 concurrent liars per shard, every fault paired
+with a repair, so the BFT quorums stay live and a red run always means
+a broken invariant, never a schedule that starved the system.
 
 Schedules serialise to canonical JSON; two runs from one seed dump
 byte-identical plans, which is what makes a failure replayable from the
@@ -51,6 +53,30 @@ SHARDED_KINDS = ("crash_coordinator", "phase_trap")
 #: Kinds requiring per-node durability (the crash-restart family).
 DURABLE_KINDS = ("crash_restart",)
 DURABLE_SHARDED_KINDS = ("restart_trap",)
+
+#: Byzantine fault kinds: mark one validator as actively *lying* until
+#: the paired ``byz_heal``.  Drawn from their own gate (``byzantine_rate``)
+#: and their own ``schedule:byz-*`` streams, so enabling them leaves the
+#: crash-fault half of a seed's plan byte-identical.  Byzantine windows
+#: share the one-disruption-per-shard budget with crashes/partitions and
+#: are additionally capped at ⌊(n−1)/3⌋ concurrent liars per shard, so
+#: every plan keeps an honest quorum able to both progress and out-vote
+#: the adversary — a red byzantine run always means broken safety, never
+#: a starved schedule.
+BYZANTINE_KINDS = (
+    "byz_equivocate",
+    "byz_double_vote",
+    "byz_withhold",
+    "byz_stale",
+)
+
+#: Schedule kind -> consensus-layer behavior kind.
+BYZANTINE_BEHAVIORS = {
+    "byz_equivocate": "equivocate",
+    "byz_double_vote": "double_vote",
+    "byz_withhold": "withhold",
+    "byz_stale": "stale",
+}
 
 
 @dataclass(frozen=True)
@@ -154,14 +180,28 @@ class ScheduleGenerator:
             by how many faults a plan contains).
         plane: topology source — shard ids and validator names.
         fault_rate: per-step probability that a new fault starts.
+        byzantine_rate: per-step probability that a validator turns
+            byzantine (0 disables the family and reproduces pre-byzantine
+            plans byte-for-byte).
     """
 
-    def __init__(self, rng: SeededRng, plane: FaultPlane, fault_rate: float = 0.12):
+    def __init__(
+        self,
+        rng: SeededRng,
+        plane: FaultPlane,
+        fault_rate: float = 0.12,
+        byzantine_rate: float = 0.0,
+    ):
         if not 0.0 <= fault_rate <= 1.0:
             raise ValueError(f"fault_rate must be in [0, 1], got {fault_rate}")
+        if not 0.0 <= byzantine_rate <= 1.0:
+            raise ValueError(
+                f"byzantine_rate must be in [0, 1], got {byzantine_rate}"
+            )
         self._rng = rng
         self._plane = plane
         self.fault_rate = fault_rate
+        self.byzantine_rate = byzantine_rate
 
     def generate(self, steps: int) -> Schedule:
         """Produce a plan of ``steps`` steps with paired repairs."""
@@ -177,6 +217,8 @@ class ScheduleGenerator:
         repairs: dict[int, list[FaultAction]] = {}
         #: shards with an open node-crash or partition (one at a time).
         disrupted: set[str] = set()
+        #: shard -> validators currently marked byzantine.
+        byzantine: dict[str, set[str]] = {}
         down_coordinators: set[str] = set()
         #: shards with an open delay window — windows must not overlap,
         #: or one window's net_calm would cut another's short and the
@@ -198,6 +240,32 @@ class ScheduleGenerator:
                     delayed.discard(repair.shard)
                 elif repair.kind == "trap_clear":
                     trap_armed = False
+                elif repair.kind == "byz_heal":
+                    disrupted.discard(repair.shard)
+                    byzantine.get(repair.shard, set()).discard(repair.node)
+            if self.byzantine_rate > 0 and rng.uniform(
+                "schedule:byz-gate", 0.0, 1.0
+            ) < self.byzantine_rate:
+                shard = rng.choice("schedule:byz-shard", plane.shard_ids)
+                marked = byzantine.setdefault(shard, set())
+                cap = max(0, (len(plane.nodes(shard)) - 1) // 3)
+                if shard not in disrupted and len(marked) < cap:
+                    candidates = [
+                        node for node in plane.nodes(shard) if node not in marked
+                    ]
+                    node = rng.choice("schedule:byz-node", candidates)
+                    kind = rng.choice("schedule:byz-kind", list(BYZANTINE_KINDS))
+                    hold = rng.randint("schedule:byz-hold", 3, 24)
+                    marked.add(node)
+                    # A byzantine window spends the shard's one-disruption
+                    # budget: no crash or partition stacks on a lying
+                    # node's shard, keeping the honest quorum live.
+                    disrupted.add(shard)
+                    actions.append(FaultAction(step, kind, shard=shard, node=node))
+                    repair_at(
+                        step + hold,
+                        FaultAction(step + hold, "byz_heal", shard=shard, node=node),
+                    )
             if rng.uniform("schedule:gate", 0.0, 1.0) >= self.fault_rate:
                 continue
             kind = rng.choice("schedule:kind", kinds)

@@ -11,10 +11,22 @@ families the chaos harness needs:
   submitted back-to-back (local vs cross-shard, or cross vs cross to
   different homes).  At most one may ever commit; the invariant checker
   turns a double-commit into a replayable failure.
+* **adversarial clients** (``adversarial_rate``, ISSUE 6) — byzantine
+  *clients* rather than validators: double-submission of recent
+  payloads both through the facade (its dedup must keep the original
+  record) and injected straight into a validator's intake (the mempool
+  ``_seen`` window and committed-id filter must drop it), plus
+  forged-signature transactions — replayed payloads with a mutated
+  signature and freshly-prepared spends tampered after signing — whose
+  ids are tracked in ``plane.forged_tx_ids`` for the
+  ``no_forged_admission`` invariant.
 
 The workload is fully deterministic: every choice draws from named
 streams of the run's master seed, and in-flight bookkeeping only spends
-outputs whose producing transaction has been observed committed.
+outputs whose producing transaction has been observed committed.  All
+adversarial draws live on dedicated ``workload:adv*`` streams behind
+the rate gate, so ``adversarial_rate=0`` reproduces pre-byzantine runs
+byte-for-byte.
 """
 
 from __future__ import annotations
@@ -22,11 +34,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.common.encoding import canonical_bytes, deep_copy_json
+from repro.consensus.abci import envelope_for
+from repro.crypto.hashing import sha3_256_hex
 from repro.crypto.keys import KeyPair, keypair_from_string
 from repro.sharding.router import SHARD_KEY_METADATA
 from repro.sim.rng import SeededRng
-from repro.simtest.plane import FaultPlane
+from repro.simtest.plane import FaultPlane, SINGLE_SHARD
 from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+#: Recent-payload window the adversarial ops replay from.
+RECENT_WINDOW = 32
 
 
 @dataclass
@@ -64,6 +82,9 @@ class TraceWorkload:
             of the next trace intent (given something is spendable).
         conflict_rate: per-step probability of a conflict pair.
         cross_rate: probability that a churn transfer migrates shards.
+        adversarial_rate: per-step probability of an adversarial-client
+            op (double submit / forged signature) instead of an honest
+            one.  0 keeps the run byte-identical to pre-byzantine plans.
     """
 
     def __init__(
@@ -75,12 +96,14 @@ class TraceWorkload:
         transfer_rate: float = 0.35,
         conflict_rate: float = 0.10,
         cross_rate: float = 0.35,
+        adversarial_rate: float = 0.0,
     ):
         self.plane = plane
         self._rng = rng
         self.transfer_rate = transfer_rate
         self.conflict_rate = conflict_rate
         self.cross_rate = cross_rate if plane.sharded else 0.0
+        self.adversarial_rate = adversarial_rate
         self.actors: list[KeyPair] = [
             keypair_from_string(f"chaos-actor-{index}") for index in range(n_actors)
         ]
@@ -97,6 +120,10 @@ class TraceWorkload:
         self._bid_holdings: dict[str, Holding] = {}
         self._next_request = 0
         self._filler = 0
+        #: Recently-submitted honest payloads (bounded) — the pool the
+        #: adversarial replay/forgery ops draw their material from.
+        self._recent: list[dict[str, Any]] = []
+        self._forge_counter = 0
         self.stats = {
             "submitted": 0,
             "creates": 0,
@@ -110,6 +137,9 @@ class TraceWorkload:
             "committed": 0,
             "rejected": 0,
             "skipped": 0,
+            "double_submits": 0,
+            "forged": 0,
+            "forged_admitted": 0,
         }
 
     # -- helpers ---------------------------------------------------------------
@@ -125,6 +155,9 @@ class TraceWorkload:
         self.plane.submit_payload(payload)
         self._inflight[payload["id"]] = (kind, detail)
         self.stats["submitted"] += 1
+        self._recent.append(deep_copy_json(payload))
+        if len(self._recent) > RECENT_WINDOW:
+            self._recent.pop(0)
         return payload["id"]
 
     def _migration_metadata(self, current_tx: str, tag: str) -> dict[str, str] | None:
@@ -177,6 +210,10 @@ class TraceWorkload:
                 request.bids.append(payload)
         elif kind == "accept":
             self._requests[detail].accepted = True
+        elif kind == "forged":
+            # The invariant checker turns this into a replayable failure;
+            # the counter makes the breach visible in run stats too.
+            self.stats["forged_admitted"] += 1
 
     def _on_rejected(self, tx_id: str, kind: str, detail: Any) -> None:
         # A rejected spend releases its holding (unless the rival side of
@@ -217,6 +254,12 @@ class TraceWorkload:
             return self._submit_conflict()
         if self.spendable and draw < self.conflict_rate + self.transfer_rate:
             return self._submit_transfer()
+        if (
+            self._recent
+            and self.adversarial_rate > 0
+            and draw < self.conflict_rate + self.transfer_rate + self.adversarial_rate
+        ):
+            return self._submit_adversarial()
         return self._submit_trace()
 
     def burst(self, size: int) -> str:
@@ -286,6 +329,113 @@ class TraceWorkload:
         self._submit(rival_b, "conflict", (holding, recipient_b, id_a))
         self.stats["conflicts"] += 1
         return f"conflict asset={holding.asset_id[:8]}"
+
+    # -- adversarial clients ------------------------------------------------------
+
+    def _submit_adversarial(self) -> str:
+        """One byzantine-client op against the admission defenses."""
+        choice = self._rng.uniform("workload:adv", 0.0, 1.0)
+        if choice < 0.4:
+            return self._double_submit()
+        if choice < 0.7 or not self.spendable:
+            return self._forge_replay()
+        return self._forge_spend()
+
+    def _double_submit(self) -> str:
+        """Replay a recent payload through both admission doors.
+
+        The facade resubmit must hit the record dedup (original record
+        kept, no duplicate lifecycle); the direct validator injection
+        bypasses the facade entirely, so only the mempool ``_seen``
+        window and the committed-id filter stand between the replay and
+        a second block appearance."""
+        payload = self._rng.choice("workload:adv-replay", self._recent)
+        self.plane.submit_payload(deep_copy_json(payload))
+        shard_id = (
+            self.plane.cluster.router.home_of_tx(payload["id"])
+            if self.plane.sharded
+            else SINGLE_SHARD
+        )
+        shard = self.plane.shard_cluster(shard_id)
+        alive = [
+            node
+            for node in shard.engine.validator_order
+            if not shard.network.is_crashed(node)
+        ]
+        if alive:
+            node = self._rng.choice("workload:adv-node", alive)
+            replay = deep_copy_json(payload)
+            envelope = envelope_for(
+                replay,
+                replay["id"],
+                len(canonical_bytes(replay)),
+                now=self.plane.now,
+            )
+            shard.engine.validator(node).submit_transaction(envelope)
+        self.stats["double_submits"] += 1
+        return f"adv double-submit tx={payload['id'][:8]}"
+
+    def _tamper_signature(self, payload: dict[str, Any]) -> str | None:
+        """Mutate one signature character in place and re-derive the id.
+
+        The mutation swaps a mid-signature base58 character, so the
+        forged signature still decodes to a well-formed 64-byte value —
+        it fails *verification*, not parsing.  The id is recomputed over
+        the tampered body exactly as honest clients derive it, so the
+        forgery is internally consistent: only the signature check can
+        reject it."""
+        for item in payload.get("inputs", []):
+            signatures = item.get("fulfillment", {}).get("signatures", {})
+            for pubkey in sorted(signatures):
+                signature = signatures[pubkey]
+                mid = len(signature) // 2
+                swapped = "3" if signature[mid] == "2" else "2"
+                signatures[pubkey] = signature[:mid] + swapped + signature[mid + 1 :]
+                body = {key: value for key, value in payload.items() if key != "id"}
+                payload["id"] = sha3_256_hex(canonical_bytes(body))
+                return payload["id"]
+        return None
+
+    def _submit_forged(self, payload: dict[str, Any], flavor: str) -> str:
+        forged_id = payload["id"]
+        self.plane.forged_tx_ids.add(forged_id)
+        self.plane.submit_payload(payload)
+        self._inflight[forged_id] = ("forged", flavor)
+        self.stats["forged"] += 1
+        self.stats["submitted"] += 1
+        return f"adv forge-{flavor} tx={forged_id[:8]}"
+
+    def _forge_replay(self) -> str:
+        """A recent payload with one signature character flipped."""
+        payload = deep_copy_json(self._rng.choice("workload:adv-forge", self._recent))
+        if self._tamper_signature(payload) is None:
+            return self._double_submit()
+        return self._submit_forged(payload, "replay")
+
+    def _forge_spend(self) -> str:
+        """A fresh, otherwise-valid spend tampered after signing.
+
+        Unlike a replay forgery (whose inputs are usually already spent,
+        so semantic validation rejects it before signatures are even
+        read), this spends a *live* holding — every check but signature
+        verification passes, isolating the crypto layer as the only
+        defense.  The holding is peeked, not popped: the forgery must
+        never commit, so the honest workload keeps the output."""
+        index = self._rng.randint("workload:adv-holding", 0, len(self.spendable) - 1)
+        holding = self.spendable[index]
+        self._forge_counter += 1
+        recipient = (holding.owner + 1) % len(self.actors)
+        transfer_tx = self._driver().prepare_transfer(
+            self._actor(holding.owner),
+            [(holding.tx_id, holding.output_index, holding.amount)],
+            holding.asset_id,
+            [(self._actor(recipient).public_key, holding.amount)],
+            metadata={"forged": self._forge_counter},
+        )
+        payload = transfer_tx.to_dict()
+        if self._tamper_signature(payload) is None:
+            return self._double_submit()
+        return self._submit_forged(payload, "spend")
 
     def _submit_trace(self) -> str:
         """Next intent of the paper trace, with dependency fallbacks."""

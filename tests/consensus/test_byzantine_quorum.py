@@ -1,0 +1,308 @@
+"""Quorum accounting under lying validators (ISSUE 6).
+
+The f<n/3 safety argument leans on four admission checks in the round
+machine, each pinned here at the unit level and then exercised end-to-end
+with real byzantine behaviors installed:
+
+* **per-validator tallies** — a quorum is counted over distinct voters,
+  never messages, so no flood of copies (or conflicting pairs) from one
+  validator assembles ``2f+1`` alone;
+* **vote-sender authentication** — votes are never relayed, so a vote
+  claiming another validator's identity is a forgery by the wire sender
+  and counts for nothing;
+* **proposer legitimacy** — only the rotation's due proposer for a
+  (height, round) may propose, and the wire sender must be that proposer;
+* **parent check** — a proposal that does not extend this node's chain
+  earns a NIL prevote.
+"""
+
+import hashlib
+
+from repro.consensus.abci import NullApplication, envelope_for
+from repro.consensus.bft import GENESIS_ID
+from repro.consensus.byzantine import (
+    conflicting_vote,
+    make_behavior,
+    sibling_block,
+)
+from repro.consensus.tendermint import make_tendermint_cluster
+from repro.consensus.types import NIL, PREVOTE, Block, Vote
+from repro.sim.events import EventLoop
+from repro.sim.network import Network
+from repro.sim.rng import SeededRng
+
+
+def build_cluster(n=4):
+    loop = EventLoop()
+    network = Network(loop, SeededRng(23))
+    engine = make_tendermint_cluster(
+        loop, network, lambda node_id: NullApplication(), n_validators=n
+    )
+    return loop, engine
+
+
+def envelope(tag: str):
+    tx_id = hashlib.sha3_256(tag.encode()).hexdigest()
+    return envelope_for({"tag": tag}, tx_id, 100)
+
+
+def proposer_for(engine, height, round_number):
+    order = engine.validator_order
+    return order[(height + round_number) % len(order)]
+
+
+def evidence_kinds(validator):
+    return [item["kind"] for item in validator.evidence]
+
+
+class TestPerValidatorTally:
+    def test_duplicate_copies_add_nothing(self):
+        loop, engine = build_cluster()
+        validator = engine.validator(engine.validator_order[0])
+        voter = engine.validator_order[1]
+        vote = Vote(PREVOTE, 1, 0, "b" * 64, voter)
+        counts = [validator._tally_vote(vote) for _ in range(validator._quorum() + 2)]
+        assert counts == [1] * len(counts)
+
+    def test_conflicting_second_vote_counts_zero_with_evidence(self):
+        loop, engine = build_cluster()
+        validator = engine.validator(engine.validator_order[0])
+        voter = engine.validator_order[1]
+        assert validator._tally_vote(Vote(PREVOTE, 1, 0, "b" * 64, voter)) == 1
+        assert validator._tally_vote(Vote(PREVOTE, 1, 0, "c" * 64, voter)) == 0
+        assert "double_vote" in evidence_kinds(validator)
+        # Neither bucket grew past the single first vote.
+        assert len(validator._votes.get((PREVOTE, 1, 0, "b" * 64), set())) == 1
+        assert len(validator._votes.get((PREVOTE, 1, 0, "c" * 64), set())) == 0 or (
+            (PREVOTE, 1, 0, "c" * 64) not in validator._votes
+        )
+
+    def test_double_voter_alone_cannot_form_quorum(self):
+        """The regression the per-validator dedupe exists for: one
+        validator spamming quorum-many copies of two conflicting votes
+        must not polka anything."""
+        loop, engine = build_cluster()
+        validator = engine.validator(engine.validator_order[0])
+        block = Block.build(1, 0, proposer_for(engine, 1, 0), [envelope("x")], GENESIS_ID)
+        validator._handle_proposal(block)
+        loop.run(until=loop.clock.now + 0.01)  # own prevote tallies
+
+        liar = engine.validator_order[1]
+        vote = Vote(PREVOTE, 1, 0, block.block_id, liar)
+        rival = Vote(PREVOTE, 1, 0, "d" * 64, liar)
+        for _ in range(validator._quorum()):
+            validator._handle_vote(vote, liar)
+            validator._handle_vote(rival, liar)
+        loop.run(until=loop.clock.now + 0.01)
+        # Two distinct voters (self + liar's first vote) < quorum of 3.
+        assert validator._locked_block is None
+        assert len(validator._votes[(PREVOTE, 1, 0, block.block_id)]) == 2
+
+    def test_honest_votes_still_reach_quorum(self):
+        """Sanity for the test above: two honest peers + own prevote lock."""
+        loop, engine = build_cluster()
+        validator = engine.validator(engine.validator_order[0])
+        block = Block.build(1, 0, proposer_for(engine, 1, 0), [envelope("x")], GENESIS_ID)
+        validator._handle_proposal(block)
+        loop.run(until=loop.clock.now + 0.01)
+        for voter in engine.validator_order[1:3]:
+            validator._handle_vote(Vote(PREVOTE, 1, 0, block.block_id, voter), voter)
+        loop.run(until=loop.clock.now + 0.01)
+        assert validator._locked_block is not None
+        assert validator._locked_block.block_id == block.block_id
+
+
+class TestVoteSenderAuthentication:
+    def test_forged_voter_identity_is_dropped(self):
+        loop, engine = build_cluster()
+        validator = engine.validator(engine.validator_order[0])
+        impersonated = engine.validator_order[2]
+        forger = engine.validator_order[1]
+        validator._handle_vote(Vote(PREVOTE, 1, 0, "b" * 64, impersonated), forger)
+        assert (PREVOTE, 1, 0, "b" * 64) not in validator._votes
+        assert "forged_vote" in evidence_kinds(validator)
+
+    def test_one_sender_cannot_mint_a_phantom_quorum(self):
+        loop, engine = build_cluster()
+        validator = engine.validator(engine.validator_order[0])
+        block = Block.build(1, 0, proposer_for(engine, 1, 0), [envelope("x")], GENESIS_ID)
+        validator._handle_proposal(block)
+        loop.run(until=loop.clock.now + 0.01)
+        forger = engine.validator_order[1]
+        for claimed in engine.validator_order:
+            if claimed == validator.node_id:
+                continue
+            validator._handle_vote(
+                Vote(PREVOTE, 1, 0, block.block_id, claimed), forger
+            )
+        loop.run(until=loop.clock.now + 0.01)
+        # Only the forger's self-signed vote counted alongside our own.
+        assert len(validator._votes[(PREVOTE, 1, 0, block.block_id)]) == 2
+        assert validator._locked_block is None
+
+
+class TestProposerLegitimacy:
+    def test_undue_proposer_is_dropped_with_evidence(self):
+        loop, engine = build_cluster()
+        validator = engine.validator(engine.validator_order[0])
+        undue = next(
+            node for node in engine.validator_order if node != proposer_for(engine, 1, 0)
+        )
+        block = Block.build(1, 0, undue, [envelope("x")], GENESIS_ID)
+        validator._handle_proposal(block, undue)
+        assert (1, 0) not in validator._proposals
+        assert "forged_proposal" in evidence_kinds(validator)
+
+    def test_impostor_sender_is_dropped_with_evidence(self):
+        """A block *naming* the due proposer but arriving from another
+        node is an impostor proposal — proposals are never relayed."""
+        loop, engine = build_cluster()
+        validator = engine.validator(engine.validator_order[0])
+        due = proposer_for(engine, 1, 0)
+        impostor = next(
+            node
+            for node in engine.validator_order
+            if node not in (due, validator.node_id)
+        )
+        block = Block.build(1, 0, due, [envelope("x")], GENESIS_ID)
+        validator._handle_proposal(block, impostor)
+        assert (1, 0) not in validator._proposals
+        assert "forged_proposal" in evidence_kinds(validator)
+
+    def test_trusted_local_path_skips_only_the_sender_check(self):
+        loop, engine = build_cluster()
+        validator = engine.validator(engine.validator_order[0])
+        block = Block.build(1, 0, proposer_for(engine, 1, 0), [envelope("x")], GENESIS_ID)
+        validator._handle_proposal(block)  # sender=None: local/test path
+        assert validator._proposals[(1, 0)][block.block_id] is block
+
+
+class TestEquivocationHandling:
+    def test_sibling_recorded_with_evidence_and_both_retained(self):
+        loop, engine = build_cluster()
+        validator = engine.validator(engine.validator_order[0])
+        due = proposer_for(engine, 1, 0)
+        block = Block.build(1, 0, due, [envelope("x"), envelope("y")], GENESIS_ID)
+        sibling = sibling_block(block)
+        assert sibling is not None and sibling.block_id != block.block_id
+        validator._handle_proposal(block, due)
+        validator._handle_proposal(sibling, due)
+        slot = validator._proposals[(1, 0)]
+        assert set(slot) == {block.block_id, sibling.block_id}
+        assert "equivocation" in evidence_kinds(validator)
+
+    def test_single_prevote_despite_two_siblings(self):
+        loop, engine = build_cluster()
+        validator = engine.validator(engine.validator_order[0])
+        due = proposer_for(engine, 1, 0)
+        block = Block.build(1, 0, due, [envelope("x"), envelope("y")], GENESIS_ID)
+        sibling = sibling_block(block)
+        prevotes = []
+        original = validator._broadcast
+
+        def spy(kind, payload, size):
+            if kind == "VOTE" and payload.phase == PREVOTE:
+                prevotes.append(payload)
+            original(kind, payload, size)
+
+        validator._broadcast = spy
+        validator._handle_proposal(block, due)
+        validator._handle_proposal(sibling, due)
+        loop.run(until=loop.clock.now + 0.01)
+        assert len(prevotes) == 1, "one prevote per (height, round), not per sibling"
+        assert prevotes[0].block_id == block.block_id  # first-seen sibling
+
+    def test_conflicting_vote_prefers_a_real_rival(self):
+        loop, engine = build_cluster()
+        validator = engine.validator(engine.validator_order[0])
+        due = proposer_for(engine, 1, 0)
+        block = Block.build(1, 0, due, [envelope("x"), envelope("y")], GENESIS_ID)
+        sibling = sibling_block(block)
+        validator._handle_proposal(block, due)
+        validator._handle_proposal(sibling, due)
+        vote = Vote(PREVOTE, 1, 0, block.block_id, validator.node_id)
+        rival = conflicting_vote(validator, vote)
+        assert rival.block_id == sibling.block_id
+
+
+class TestParentCheck:
+    def test_wrong_parent_earns_a_nil_prevote(self):
+        loop, engine = build_cluster()
+        validator = engine.validator(engine.validator_order[0])
+        block = Block.build(1, 0, proposer_for(engine, 1, 0), [envelope("x")], "f" * 64)
+        nil_votes = []
+        original = validator._broadcast
+
+        def spy(kind, payload, size):
+            if kind == "VOTE" and payload.phase == PREVOTE and payload.block_id == NIL:
+                nil_votes.append(payload)
+            original(kind, payload, size)
+
+        validator._broadcast = spy
+        validator._handle_proposal(block)
+        loop.run(until=loop.clock.now + 0.01)
+        assert nil_votes, "a proposal off our chain must be prevoted NIL"
+
+
+class TestByzantineBehaviorsEndToEnd:
+    def submit_everywhere(self, engine, tags):
+        for tag in tags:
+            item = envelope(tag)
+            for node_id in engine.validator_order:
+                engine.validator(node_id).submit_transaction(item, gossip=False)
+
+    def honest_chains(self, engine, liar):
+        return {
+            node_id: tuple(
+                block.block_id for block in engine.validator(node_id).chain
+            )
+            for node_id in engine.validator_order
+            if node_id != liar
+        }
+
+    def test_equivocating_proposer_is_contained(self):
+        loop, engine = build_cluster()
+        liar = proposer_for(engine, 1, 0)
+        engine.validator(liar).byzantine = make_behavior("equivocate")
+        self.submit_everywhere(engine, ["m1", "m2"])
+        loop.run(until=60.0)
+        chains = self.honest_chains(engine, liar)
+        assert all(chains.values()), f"honest nodes never committed: {chains}"
+        assert len(set(chains.values())) == 1, chains
+        # The proposer's double-voting left evidence on honest nodes.
+        assert any(
+            item["kind"] in ("double_vote", "equivocation")
+            for node_id in chains
+            for item in engine.validator(node_id).evidence
+        )
+
+    def test_vote_withholder_does_not_stall_the_quorum(self):
+        loop, engine = build_cluster()
+        liar = next(
+            node
+            for node in engine.validator_order
+            if node != proposer_for(engine, 1, 0)
+        )
+        engine.validator(liar).byzantine = make_behavior("withhold")
+        self.submit_everywhere(engine, ["w1"])
+        loop.run(until=60.0)
+        chains = self.honest_chains(engine, liar)
+        assert all(chains.values())
+        assert len(set(chains.values())) == 1
+
+    def test_stale_replica_freezes_while_honest_nodes_advance(self):
+        loop, engine = build_cluster()
+        liar = next(
+            node
+            for node in engine.validator_order
+            if node != proposer_for(engine, 1, 0)
+        )
+        engine.validator(liar).byzantine = make_behavior("stale")
+        self.submit_everywhere(engine, ["s1"])
+        loop.run(until=60.0)
+        chains = self.honest_chains(engine, liar)
+        assert all(chains.values())
+        assert len(set(chains.values())) == 1
+        assert len(engine.validator(liar).chain) < len(
+            next(iter(chains.values()))
+        ) + 1  # the frozen replica fell behind the honest commit

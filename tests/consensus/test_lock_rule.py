@@ -79,7 +79,7 @@ class TestRoundDiscipline:
         validator._handle_proposal(block)
         assert (1, 0) not in validator._prevoted
         # The proposal is still stored so a late commit can apply it.
-        assert validator._proposals[(1, 0)] is block
+        assert validator._proposals[(1, 0)][block.block_id] is block
 
     def test_stale_polka_earns_no_precommit_and_no_lock(self):
         loop, engine = build_cluster()

@@ -1,5 +1,7 @@
 """The cluster-wide signature cache: correctness under eviction and reuse."""
 
+import hashlib
+
 import pytest
 
 from repro.crypto import ed25519
@@ -98,6 +100,43 @@ class TestVerifySignatureIntegration:
             assert not verify_signature(public, b"other", signature)
         finally:
             set_shared_cache(previous)
+
+
+class TestForgedSignatureBinding:
+    """ISSUE 6: the cache key must bind the *full* (public key, message
+    digest, signature) triple, so an adversarial client's forged
+    signature can never alias the honest verdict it was derived from."""
+
+    def test_key_binds_every_component_of_the_triple(self):
+        base = SignatureCache.key("pk", b"message", "sig")
+        assert base == ("pk", hashlib.sha3_256(b"message").digest(), "sig")
+        assert base != SignatureCache.key("pk2", b"message", "sig")
+        assert base != SignatureCache.key("pk", b"message2", "sig")
+        assert base != SignatureCache.key("pk", b"message", "sig2")
+
+    def test_forged_signature_is_never_cached_true(self, fresh_cache):
+        """The exact adversarial-client move from the chaos workload: take
+        a signature the cluster has already verified (verdict True is in
+        cache), flip one mid-signature base58 character, and re-verify.
+        The forged triple must key to its own entry, fail verification,
+        and be remembered as False — while the honest entry stays True."""
+        public, message, signature = signed("alice", b"adversarial payload")
+        assert verify_signature(public, message, signature)
+        honest_key = fresh_cache.key(public, message, signature)
+        assert fresh_cache.get(honest_key) is True
+
+        mid = len(signature) // 2
+        swapped = "3" if signature[mid] == "2" else "2"
+        forged = signature[:mid] + swapped + signature[mid + 1 :]
+        assert forged != signature
+
+        assert not verify_signature(public, message, forged)
+        forged_key = fresh_cache.key(public, message, forged)
+        assert forged_key != honest_key
+        assert fresh_cache.get(forged_key) is False
+        assert fresh_cache.get(honest_key) is True
+        # And the forged verdict stays False on re-sight (cache hit).
+        assert not verify_signature(public, message, forged)
 
 
 class TestBatchSeeding:

@@ -127,7 +127,7 @@ class TestLockForcedDurability:
         validator = cluster.engine.validator(node)
         envelope = TxEnvelope("tx-lock", {"id": "tx-lock"}, 64, 1, 0.0)
         block = Block.build(1, 0, node, [envelope], validator.last_block_id)
-        validator._proposals[(1, 0)] = block
+        validator._proposals[(1, 0)] = {block.block_id: block}
         for voter in cluster.engine.validator_order[:3]:
             validator._handle_vote(Vote(PREVOTE, 1, 0, block.block_id, voter), voter)
         assert validator._locked_block is not None

@@ -244,6 +244,84 @@ class TestRetryAfterAbort:
         # Same payload, second attempt: must commit cleanly this time.
         record = cluster.submit_and_settle(transfer_tx.to_dict())
         assert record.committed_at is not None
+
+    def test_rebegin_clears_the_aborted_rounds_volatile_state(self, staged):
+        """A re-begin must drop the aborted round's ack set and its
+        armed decision-broadcast retry: a stale timer replaying into the
+        fresh round could mark it done before any participant prepared
+        (byzantine chaos sweep, seed 16)."""
+        cluster, owner, create_tx, transfer_tx, origin, target = staged
+        tx_id = transfer_tx.tx_id
+        agent = cluster.agents[target]  # the transfer's home coordinator
+        cluster.crash_coordinator(origin)  # participant down: prepare lost
+        start = cluster.loop.clock.now
+        cluster.submit_payload(transfer_tx.to_dict())
+        # Past the 1.0s prepare timeout: round 1 is aborted, the decision
+        # broadcast to the dead participant is unacked, the retry armed.
+        cluster.loop.run(until=start + 1.1)
+        assert agent.outbox_record(tx_id)["outcome"] == "aborted"
+        assert ("retry", tx_id) in agent._timers
+        assert tx_id in agent._acks
+        cluster.submit_payload(transfer_tx.to_dict())  # client retry
+        assert agent.outbox_record(tx_id)["state"] == "preparing"
+        assert ("retry", tx_id) not in agent._timers
+        assert tx_id not in agent._acks
+        cluster.recover_coordinator(origin)
+        cluster.run()
+        assert cluster.records[tx_id].committed_at is not None
+        assert not _origin_utxo_present(cluster, create_tx, origin)
+        assert cluster.agents[origin].active_locks() == []
+
+    def test_stale_abort_broadcast_cannot_finish_a_fresh_round(self, staged):
+        """Defense in depth for the same race: even if a stale timer
+        fires, a broadcast armed for an outcome the outbox no longer
+        carries must be a no-op — not zombify the new round as
+        ``done`` with no outcome."""
+        cluster, owner, create_tx, transfer_tx, origin, target = staged
+        tx_id = transfer_tx.tx_id
+        agent = cluster.agents[target]
+        cluster.crash_coordinator(origin)
+        start = cluster.loop.clock.now
+        cluster.submit_payload(transfer_tx.to_dict())
+        cluster.loop.run(until=start + 1.1)
+        cluster.submit_payload(transfer_tx.to_dict())  # re-begin: preparing
+        # Replay the aborted round's broadcast with its ack set complete,
+        # exactly what the leaked timer + late acks produced in the wild.
+        agent._acks[tx_id] = set(agent.outbox_record(tx_id)["participants"])
+        agent._broadcast_decision(tx_id, "aborted", attempt=0)
+        doc = agent.outbox_record(tx_id)
+        assert doc["state"] == "preparing" and doc["outcome"] is None
+        del agent._acks[tx_id]
+        cluster.recover_coordinator(origin)
+        cluster.run()
+        assert cluster.records[tx_id].committed_at is not None
+
+
+class TestAdversarialInjection:
+    def test_cross_shard_payload_cannot_bypass_2pc_via_direct_injection(self, staged):
+        """The ingress gate: a cross-shard payload pushed straight into a
+        home-shard validator mempool (adversarial double-submit) must be
+        refused at admission.  Committing it intra-shard would bypass the
+        prepare phase entirely — the remote input is never locked or
+        consumed, and the coordinator's own home submission would later
+        be deduplicated against the rogue copy, parking the round in
+        ``commit_pending`` with the participant's locks held forever."""
+        from repro.common.encoding import canonical_bytes
+        from repro.consensus.abci import envelope_for
+
+        cluster, owner, create_tx, transfer_tx, origin, target = staged
+        payload = transfer_tx.to_dict()
+        envelope = envelope_for(payload, payload["id"], len(canonical_bytes(payload)))
+        home = cluster.shards[target]  # router homes the transfer on target
+        for node in home.engine.validator_order:
+            server = home.servers[node]
+            assert server.check_tx(envelope) is False
+            assert not home.engine.validator(node).submit_transaction(envelope)
+            assert payload["id"] not in home.engine.validator(node).mempool
+        # The legitimate 2PC path through the facade still commits it.
+        record = cluster.submit_and_settle(payload)
+        assert record.committed_at is not None
+        assert not _origin_utxo_present(cluster, create_tx, origin)
         assert not _origin_utxo_present(cluster, create_tx, origin)
 
 

@@ -93,7 +93,10 @@ class TestNoGlobalRandomness:
         deterministic hashing), never process-global randomness — and
         the durability layer (ISSUE 5): replaying a SimDisk must be
         byte-identical, so WAL frames, flush timing and snapshot cadence
-        may draw on nothing but the injected event loop."""
+        may draw on nothing but the injected event loop — and the
+        byzantine fault family (ISSUE 6): liars, adversarial clients and
+        corruption schedules must themselves replay byte-for-byte, or a
+        repro bundle of a safety violation is worthless."""
         for rel in (
             "sharding/coordinator.py",
             "consensus/mempool.py",
@@ -107,6 +110,10 @@ class TestNoGlobalRandomness:
             "durability/snapshot.py",
             "durability/recovery.py",
             "durability/node.py",
+            "consensus/byzantine.py",
+            "simtest/workload.py",
+            "simtest/schedule.py",
+            "simtest/plane.py",
         ):
             source = (SRC / rel).read_text()
             assert "import random" not in source, rel
