@@ -53,11 +53,17 @@ def _run(n_shards: int, **kwargs) -> dict:
     )
     result = run_sharded_scenario(spec)
     metrics = result.metrics
+    # Tail latencies from the telemetry registry (exact nearest-rank over
+    # every committed transaction's commit latency, facade + shards).
+    percentiles = metrics.percentiles_ms or {}
     return {
         "shards": n_shards,
         "submitted": metrics.submitted,
         "committed": metrics.committed,
         "throughput_tps": round(metrics.throughput_tps, 2),
+        "p50_ms": round(percentiles.get("p50_ms", 0.0), 3),
+        "p99_ms": round(percentiles.get("p99_ms", 0.0), 3),
+        "p999_ms": round(percentiles.get("p999_ms", 0.0), 3),
         "sim_time_s": round(result.detail["sim_time"], 3),
         "cross_submitted": int(result.detail["cross_submitted"]),
         "hot_shard_share": round(result.detail["hot_shard_share"], 3),

@@ -10,6 +10,7 @@ Usage::
     python -m repro recover              # durability demo: write -> kill -> recover
     python -m repro simtest --seed 7 --steps 500   # deterministic chaos run
     python -m repro byzantine --seed 7   # narrated byzantine-fault demo
+    python -m repro trace --seed 7       # span tree of one cross-shard tx
 """
 
 from __future__ import annotations
@@ -377,16 +378,90 @@ def _cmd_simtest(args: argparse.Namespace) -> int:
         f"logs: {schedule_path}, {log_path}"
     )
     if report.violations:
+        import json as json_module
+
         bundle_path = f"{args.out_prefix}_repro.json"
         with open(bundle_path, "w") as handle:
             handle.write(report.bundle.to_json() + "\n")
+        # Standalone flight-recorder dump (also embedded in the bundle):
+        # CI's failure-artifact glob picks it up next to the schedule.
+        flight_path = f"{args.out_prefix}_flight.json"
+        with open(flight_path, "w") as handle:
+            json_module.dump(report.bundle.flight, handle, sort_keys=True, indent=2)
+            handle.write("\n")
         first = report.violations[0]
         print(
             f"FAILED: invariant {first.invariant} at step {first.step}: {first.detail}"
         )
-        print(f"repro bundle: {bundle_path} (replay with the same --seed)")
+        traced = len(report.bundle.flight.get("traces", {}))
+        print(
+            f"repro bundle: {bundle_path} (replay with the same --seed); "
+            f"flight recorder: {flight_path} "
+            f"({len(report.bundle.flight.get('events', []))} events, "
+            f"{traced} implicated trace(s))"
+        )
         return 1
     print("all invariants held (per-step and at quiesce)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Narrated observability demo: trace one cross-shard transaction
+    through submit, 2PC prepare, consensus, WAL group commit and apply,
+    then print the deployment's latency percentiles."""
+    from repro.crypto import keypair_from_string
+    from repro.durability.node import DurabilityConfig
+    from repro.sharding import ShardedCluster, ShardedClusterConfig
+    from repro.sharding.router import SHARD_KEY_METADATA
+
+    print(f"[1/3] 2-shard durable cluster, every transaction traced (seed={args.seed})")
+    cluster = ShardedCluster(
+        ShardedClusterConfig(
+            n_shards=2,
+            seed=args.seed,
+            trace_sample_rate=1.0,
+            durability=DurabilityConfig(),
+        )
+    )
+    driver = cluster.driver
+    alice = keypair_from_string("alice")
+    bob = keypair_from_string("bob")
+    create = driver.prepare_create(alice, {"capabilities": ["3d-print"]})
+    cluster.submit_and_settle(create)
+    home = cluster.router.home_of_tx(create.tx_id)
+    target = next(shard for shard in cluster.shard_ids if shard != home)
+    print(f"      asset minted on {home}; migrating it to {target} forces 2PC")
+
+    print("[2/3] cross-shard transfer: facade submit -> prepare locks -> home")
+    print("      consensus -> decision broadcast -> ack (one stitched timeline)")
+    transfer = driver.prepare_transfer(
+        alice, [(create.tx_id, 0, 1)], create.tx_id,
+        [(bob.public_key, 1)],
+        metadata={SHARD_KEY_METADATA: cluster.ring.key_landing_on(target, prefix="mig")},
+    )
+    record = cluster.submit_and_settle(transfer)
+    outcome = "committed" if record.committed_at is not None else f"rejected: {record.rejected}"
+    print(f"      outcome: {outcome}\n")
+    print(cluster.telemetry.tracer.render_tree(transfer.tx_id))
+
+    print("\n[3/3] registry percentiles (exact, from the shared histogram)")
+    summary = cluster.latency_percentiles()
+    if summary.get("count"):
+        print(
+            "      tx_commit_latency_ms: "
+            + "  ".join(
+                f"{key}={summary[key]:.3f}"
+                for key in ("mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms")
+            )
+            + f"  (n={summary['count']})"
+        )
+    flight = cluster.telemetry.flight
+    print(
+        f"      flight recorder: {len(flight.dump())} events resident "
+        f"({flight.recorded} recorded, {flight.dropped} dropped)"
+    )
+    print("\nsame instruments feed the chaos harness's repro bundles: on an")
+    print("invariant failure the bundle carries this exact span timeline")
     return 0
 
 
@@ -548,6 +623,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--out-prefix", default="SIMTEST", help="prefix for schedule/log/repro files"
     )
     simtest.set_defaults(func=_cmd_simtest)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="observability demo: span tree of one cross-shard transaction",
+    )
+    trace.add_argument("--seed", type=int, default=7)
+    trace.set_defaults(func=_cmd_trace)
 
     byzantine = subparsers.add_parser(
         "byzantine",

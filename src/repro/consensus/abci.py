@@ -83,7 +83,14 @@ class NullApplication:
         return 0.001
 
 
-def envelope_for(payload: Any, tx_id: str, size_bytes: int, weight: int = 1, now: float = 0.0) -> TxEnvelope:
+def envelope_for(
+    payload: Any,
+    tx_id: str,
+    size_bytes: int,
+    weight: int = 1,
+    now: float = 0.0,
+    trace_flags: int = 0,
+) -> TxEnvelope:
     """Convenience constructor for a consensus envelope."""
     return TxEnvelope(
         tx_id=tx_id,
@@ -91,4 +98,5 @@ def envelope_for(payload: Any, tx_id: str, size_bytes: int, weight: int = 1, now
         size_bytes=size_bytes,
         weight=weight,
         submitted_at=now,
+        trace_flags=trace_flags,
     )

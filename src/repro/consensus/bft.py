@@ -154,6 +154,15 @@ class Validator:
         #: Observed peer misbehavior (forged votes, double votes,
         #: equivocating proposals), bounded by ``EVIDENCE_LIMIT``.
         self.evidence: list[dict] = []
+        #: Optional :class:`~repro.telemetry.Telemetry` (set by the
+        #: cluster); None on bare engines, so consensus-only tests pay
+        #: nothing.
+        self.telemetry = None
+        self.telemetry_label = node_id
+        #: Sim time this height's work window opened (first pending work
+        #: after the previous commit) — the height-duration histogram's
+        #: start point.
+        self._height_started_at: float | None = None
 
     # -- helpers ---------------------------------------------------------------
 
@@ -235,6 +244,8 @@ class Validator:
         if envelope.tx_id in self._committed_ids:
             return False
         added = self.mempool.add(envelope)
+        if added and self._height_started_at is None:
+            self._height_started_at = self._loop.clock.now
         if added and gossip:
             self._broadcast("TX", envelope, envelope.size_bytes)
         self._kick_proposer()
@@ -307,6 +318,20 @@ class Validator:
             return
         if self.byzantine is not None and self.byzantine.publish_proposal(self, block):
             return
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.histogram("consensus_block_txs", node=self.telemetry_label).observe(
+                len(block.transactions)
+            )
+            for envelope in block.transactions:
+                if envelope.trace_flags & 1:
+                    tel.tracer.event(
+                        envelope.tx_id,
+                        "consensus_propose",
+                        node=self.telemetry_label,
+                        height=block.height,
+                        round=block.round,
+                    )
         self._broadcast("PROPOSAL", block, block.size_bytes)
         self._handle_proposal(block, self.node_id)
 
@@ -524,6 +549,18 @@ class Validator:
             if proposal is not None:
                 self._locked_block = proposal
                 self._locked_round = vote.round
+                tel = self.telemetry
+                if tel is not None and tel.enabled:
+                    tel.counter(
+                        "consensus_lock_adoptions", node=self.telemetry_label
+                    ).inc()
+                    tel.flight_event(
+                        self.telemetry_label,
+                        "lock_adopt",
+                        height=vote.height,
+                        round=vote.round,
+                        block=vote.block_id[:8],
+                    )
                 if self.persistence is not None:
                     # Write-ahead consensus state (Tendermint WAL): a
                     # restart-from-disk must see the lock or it could
@@ -602,6 +639,27 @@ class Validator:
             self._loop.schedule_in(commit_cost, finalize)
 
     def _apply_block(self, block: Block) -> None:
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            now = self._loop.clock.now
+            if self._height_started_at is not None:
+                tel.observe_ms(
+                    "consensus_height_ms",
+                    now - self._height_started_at,
+                    node=self.telemetry_label,
+                )
+            self._height_started_at = None
+            tel.counter("consensus_rounds_used", node=self.telemetry_label).inc(
+                block.round + 1
+            )
+            tel.flight_event(
+                self.telemetry_label,
+                "block_commit",
+                height=block.height,
+                round=block.round,
+                block=block.block_id[:8],
+                txs=len(block.transactions),
+            )
         delivered = [
             envelope
             for envelope in block.transactions
@@ -618,6 +676,10 @@ class Validator:
             self._locked_round = -1
         self._committed_ids.update(envelope.tx_id for envelope in block.transactions)
         self.mempool.remove([envelope.tx_id for envelope in block.transactions])
+        if tel is not None and tel.enabled and len(self.mempool) > 0:
+            # Backlogged height: the next height's work window opens now,
+            # not at the next submit.
+            self._height_started_at = self._loop.clock.now
         self._gc_consensus_state(block.height)
         if self.persistence is not None:
             # Full envelopes ride the record so a restarted node rebuilds

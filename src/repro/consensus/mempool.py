@@ -33,6 +33,27 @@ class Mempool:
         #: ``_pool``); insertion-ordered so eviction drops the oldest.
         self._seen: "OrderedDict[str, None]" = OrderedDict()
         self.stats = {"added": 0, "duplicates": 0, "rejected_full": 0, "reaped": 0}
+        #: Optional :class:`~repro.telemetry.Telemetry` (set by the cluster).
+        self.telemetry = None
+        self.telemetry_label = ""
+        self._tel_handles: tuple | None = None
+
+    def _instruments(self, tel) -> tuple:
+        """(depth gauge, dedup counter, reap histogram), resolved once —
+        the registry lookup is label-tuple hashing, far too heavy for the
+        per-add path."""
+        handles = self._tel_handles
+        if handles is None or handles[0] is not tel or handles[1] != self.telemetry_label:
+            label = self.telemetry_label
+            handles = (
+                tel,
+                label,
+                tel.gauge("mempool_depth", node=label),
+                tel.counter("mempool_dedup_hits", node=label),
+                tel.histogram("mempool_reap_batch", node=label),
+            )
+            self._tel_handles = handles
+        return handles
 
     def __len__(self) -> int:
         return len(self._pool)
@@ -63,14 +84,24 @@ class Mempool:
         Raises:
             MempoolFullError: at capacity.
         """
+        tel = self.telemetry
+        observing = tel is not None and tel.enabled
         if envelope.tx_id in self._pool or envelope.tx_id in self._seen:
             self.stats["duplicates"] += 1
+            if observing:
+                self._instruments(tel)[3].inc()
             return False
         if len(self._pool) >= self.capacity:
             self.stats["rejected_full"] += 1
             raise MempoolFullError(f"mempool at capacity ({self.capacity})")
         self._pool[envelope.tx_id] = envelope
         self.stats["added"] += 1
+        if observing:
+            self._instruments(tel)[2].set(len(self._pool))
+            if envelope.trace_flags & 1:
+                tel.tracer.event(
+                    envelope.tx_id, "mempool_admit", node=self.telemetry_label
+                )
         return True
 
     def reap(self, max_txs: int | None = None, max_weight: int | None = None) -> list[TxEnvelope]:
@@ -109,6 +140,11 @@ class Mempool:
             pool[envelope.tx_id] = envelope
         self._remember(envelope.tx_id for envelope in batch)
         self.stats["reaped"] += len(batch)
+        tel = self.telemetry
+        if tel is not None and tel.enabled and batch:
+            handles = self._instruments(tel)
+            handles[2].set(len(pool))
+            handles[4].observe(len(batch))
         return batch
 
     def peek(

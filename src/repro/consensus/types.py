@@ -22,6 +22,12 @@ class TxEnvelope:
     size_bytes: int
     weight: int = 1
     submitted_at: float = 0.0
+    #: Trace context carried across gossip and shard boundaries.  Bit 0
+    #: (:data:`repro.telemetry.TRACE_SAMPLED`) marks a sampled lifecycle
+    #: trace, so hot paths learn "is this tx traced?" from one bit test
+    #: instead of a tracer lookup.  Excluded from block identity (block
+    #: ids hash tx_ids only), so sampling config can never fork consensus.
+    trace_flags: int = 0
 
 
 @dataclass(frozen=True)

@@ -31,6 +31,7 @@ from repro.sim.failures import FailureInjector
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.rng import SeededRng
 from repro.storage.database import make_smartchaindb_database
+from repro.telemetry import DEFAULT_SAMPLE_RATE, TRACE_SAMPLED, Telemetry
 
 
 @dataclass
@@ -76,6 +77,12 @@ class ClusterConfig:
     #: :class:`~repro.durability.node.DurabilityConfig` to journal every
     #: mutation and enable :meth:`SmartchainCluster.restart_node_from_disk`.
     durability: DurabilityConfig | None = None
+    #: Master telemetry switch: False keeps the registry/tracer/flight
+    #: recorder constructed but dormant (one attribute read per hot site).
+    telemetry_enabled: bool = True
+    #: Fraction of transactions whose lifecycle timeline is traced.
+    #: Metrics (histograms/counters/gauges) are never sampled.
+    trace_sample_rate: float = DEFAULT_SAMPLE_RATE
 
 
 class SmartchainCluster:
@@ -86,12 +93,40 @@ class SmartchainCluster:
         loop: optional shared event loop — a sharded deployment composes
             several clusters on one loop so their simulated time advances
             together and cross-shard protocols interleave with consensus.
+        telemetry: optional shared :class:`~repro.telemetry.Telemetry` —
+            a sharded deployment hands every shard one instance so
+            cross-shard traces stitch and histograms merge in one place.
+        scope: label prefix for this cluster's metric series ("shard-0")
+            so node ids stay unique across shards in one registry.
     """
 
-    def __init__(self, config: ClusterConfig | None = None, loop: EventLoop | None = None):
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        loop: EventLoop | None = None,
+        telemetry: Telemetry | None = None,
+        scope: str = "",
+    ):
         self.config = config or ClusterConfig()
         self.loop = loop or EventLoop()
         self.rng = SeededRng(self.config.seed)
+        self.scope = scope
+        if telemetry is not None:
+            self.telemetry = telemetry
+        else:
+            self.telemetry = Telemetry(
+                self.loop.clock,
+                # Salt from a named seeded stream: sampling verdicts replay
+                # byte-identically and consume no other stream's draws.
+                sample_salt=self.rng.stream("telemetry").getrandbits(64),
+                sample_rate=self.config.trace_sample_rate,
+                enabled=self.config.telemetry_enabled,
+            )
+        #: Predicate deciding whether a commit observes into the latency
+        #: histograms (the sharded facade filters out its own internal
+        #: home-shard submissions of cross-shard transactions, whose
+        #: end-to-end latency the facade records instead).
+        self.latency_filter = None
         self.network = Network(self.loop, self.rng, self.config.network)
         self.reserved = ReservedAccounts()
         self.servers: dict[str, SmartchainServer] = {}
@@ -122,6 +157,11 @@ class SmartchainCluster:
                 from repro.core.extensions import register_marketplace_extensions
 
                 register_marketplace_extensions(server.validator)
+            server.telemetry = self.telemetry
+            server.telemetry_label = self.node_label(node_id)
+            if durability is not None:
+                durability.log.telemetry = self.telemetry
+                durability.log.telemetry_label = self.node_label(node_id)
             self.servers[node_id] = server
             return server
 
@@ -135,6 +175,10 @@ class SmartchainCluster:
         self.failures = FailureInjector(self.loop, self.network)
         for node_id in self.engine.validator_order:
             validator = self.engine.validator(node_id)
+            validator.telemetry = self.telemetry
+            validator.telemetry_label = self.node_label(node_id)
+            validator.mempool.telemetry = self.telemetry
+            validator.mempool.telemetry_label = self.node_label(node_id)
             self.failures.register_callbacks(
                 node_id,
                 on_crash=validator.on_crash,
@@ -166,6 +210,10 @@ class SmartchainCluster:
         #: accept_id -> receiver node responsible for its RETURN children.
         self._accept_receivers: dict[str, str] = {}
         self.engine.commit_listeners.append(self._on_block_commit)
+
+    def node_label(self, node_id: str) -> str:
+        """Registry label for one node, unique across a sharded deployment."""
+        return f"{self.scope}/{node_id}" if self.scope else node_id
 
     # -- submission path -----------------------------------------------------------
 
@@ -207,6 +255,12 @@ class SmartchainCluster:
         self.records[tx_id] = record
         if callback is not None:
             self._callbacks[tx_id] = callback
+        trace_flags = 0
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.counter("tx_submitted", shard=self.scope or "main").inc()
+            if tel.tracer.begin(tx_id, "submit", operation=operation, size=size_bytes):
+                trace_flags = TRACE_SAMPLED
 
         receiver_id = receiver or self.rng.choice("receiver", self.engine.validator_order)
         if self.network.is_crashed(receiver_id):
@@ -239,9 +293,26 @@ class SmartchainCluster:
                 # the hierarchy; a structurally broken payload must reject
                 # through the driver callback, not crash the event loop.
                 record.rejected = str(error)
+                if trace_flags & TRACE_SAMPLED:
+                    self.telemetry.tracer.event(
+                        tx_id,
+                        "rejected",
+                        node=self.node_label(receiver_id),
+                        reason=str(error)[:80],
+                    )
                 self._fire_callback(tx_id, "rejected", str(error))
                 return
-            envelope = envelope_for(payload, tx_id, size_bytes, now=self.loop.clock.now)
+            if trace_flags & TRACE_SAMPLED:
+                self.telemetry.tracer.event(
+                    tx_id, "receiver_validated", node=self.node_label(receiver_id)
+                )
+            envelope = envelope_for(
+                payload,
+                tx_id,
+                size_bytes,
+                now=self.loop.clock.now,
+                trace_flags=trace_flags,
+            )
             self.engine.validator(receiver_id).submit_transaction(envelope)
 
         self.loop.schedule_in(cost, receiver_step)
@@ -250,10 +321,28 @@ class SmartchainCluster:
     # -- commit handling --------------------------------------------------------------
 
     def _on_block_commit(self, record: CommitRecord) -> None:
+        tel = self.telemetry
+        observing = tel is not None and tel.enabled
         for envelope in record.block.transactions:
             tx_record = self.records.get(envelope.tx_id)
             if tx_record is not None and tx_record.committed_at is None:
                 tx_record.committed_at = record.committed_at
+                if observing and (
+                    self.latency_filter is None or self.latency_filter(envelope.tx_id)
+                ):
+                    tel.observe_ms(
+                        "tx_commit_latency_ms",
+                        record.committed_at - tx_record.submitted_at,
+                        shard=self.scope or "main",
+                        operation=tx_record.operation,
+                    )
+            if observing and envelope.trace_flags & TRACE_SAMPLED:
+                tel.tracer.event(
+                    envelope.tx_id,
+                    "applied",
+                    node=self.node_label(record.node_id),
+                    height=record.block.height,
+                )
             self._fire_callback(envelope.tx_id, "committed", envelope.payload)
             if envelope.payload.get("operation") == ACCEPT_BID:
                 self._schedule_return_workers(envelope.tx_id)
@@ -391,6 +480,50 @@ class SmartchainCluster:
 
     def committed_records(self) -> list[TxRecord]:
         return [record for record in self.records.values() if record.committed_at is not None]
+
+    # -- telemetry ------------------------------------------------------------------
+
+    def snapshot_metrics(self) -> dict:
+        """Harvest every component's counters into the telemetry registry
+        (gauges, since the sources are cumulative dicts) and return the
+        canonical snapshot.  Live histograms (latencies, batch sizes) are
+        recorded at their sites; this collects the stats surfaces that
+        predate the registry."""
+        tel = self.telemetry
+        if tel is None:
+            return {}
+        registry = tel.registry
+        for node_id, server in self.servers.items():
+            label = self.node_label(node_id)
+            for key, value in server.stats.items():
+                registry.gauge(f"server_{key}", node=label).set(value)
+            validator = self.engine.validator(node_id)
+            for key, value in validator.check_stats.items():
+                registry.gauge(f"checktx_{key}", node=label).set(value)
+            for key, value in validator.mempool.stats.items():
+                registry.gauge(f"mempool_{key}", node=label).set(value)
+            registry.gauge("mempool_depth", node=label).set(len(validator.mempool))
+            registry.gauge("mempool_seen", node=label).set(validator.mempool.seen_size())
+            server.database.publish_metrics(registry, node=label)
+        for node_id, durability in self.node_durability.items():
+            label = self.node_label(node_id)
+            for key, value in durability.log.stats.items():
+                registry.gauge(f"wal_{key}", node=label).set(value)
+            registry.gauge("wal_pending", node=label).set(durability.log.pending)
+        from repro.crypto.sigcache import shared_cache
+
+        cache = shared_cache()
+        if cache is not None:
+            cache.publish(registry)
+        return registry.to_dict()
+
+    def latency_percentiles(self) -> dict[str, float]:
+        """Commit-latency tails (ms) read from the registry's merged
+        ``tx_commit_latency_ms`` histograms — the single percentile
+        source benchmarks and reports share."""
+        if self.telemetry is None:
+            return {"count": 0}
+        return self.telemetry.latency_percentiles()
 
     # -- cross-shard hooks (used by repro.sharding) --------------------------------
 

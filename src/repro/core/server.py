@@ -115,6 +115,10 @@ class SmartchainServer:
         self.nested = NestedTransactionProcessor(reserved.escrow, self.database)
         #: Called for each committed payload (metrics, workflow tracing).
         self.commit_hooks: list[Callable[[dict[str, Any]], None]] = []
+        #: Optional :class:`~repro.telemetry.Telemetry` (set by the
+        #: cluster); every site guards on it so a bare server pays zero.
+        self.telemetry = None
+        self.telemetry_label = node_id
         self.stats = {
             "checked": 0,
             "delivered": 0,
@@ -135,6 +139,13 @@ class SmartchainServer:
         """
         self.context.now = self.clock.now
         self.validator.validate(self.context, payload)
+        tel = self.telemetry
+        if tel is not None and tel.enabled and tel.tracer.sampled(payload.get("id", "")):
+            # Receiver-side semantic validation includes the Ed25519
+            # check — the "signature verify" stage of the lifecycle.
+            tel.tracer.event(
+                payload["id"], "signature_verified", node=self.telemetry_label
+            )
 
     # -- Application protocol ----------------------------------------------------
 
@@ -201,6 +212,9 @@ class SmartchainServer:
             self.context.use_spend_guards = True
         self.context.stage(transaction.to_dict())
         self.stats["delivered"] += 1
+        tel = self.telemetry
+        if tel is not None and tel.enabled and envelope.trace_flags & 1:
+            tel.tracer.event(envelope.tx_id, "delivered", node=self.telemetry_label)
         return True
 
     def commit_block(self, block: Block, delivered: list[TxEnvelope]) -> None:

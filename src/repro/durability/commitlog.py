@@ -59,6 +59,26 @@ class GroupCommitLog:
         #: Hook run after every flush (the snapshot cadence check).
         self.after_flush: Callable[[], None] | None = None
         self.stats = {"appends": 0, "flushes": 0, "flushed_records": 0}
+        #: Optional :class:`~repro.telemetry.Telemetry` (set by the cluster).
+        self.telemetry = None
+        self.telemetry_label = ""
+        self._batch_opened_at: float | None = None
+        self._tel_handles: tuple | None = None
+
+    def _instruments(self, tel) -> tuple:
+        """(batch histogram, sync-wait histogram), resolved once — the
+        registry lookup is too heavy to repeat on every flush."""
+        handles = self._tel_handles
+        if handles is None or handles[0] is not tel or handles[1] != self.telemetry_label:
+            label = self.telemetry_label
+            handles = (
+                tel,
+                label,
+                tel.histogram("wal_batch_records", node=label),
+                tel.histogram("wal_sync_wait_ms", node=label),
+            )
+            self._tel_handles = handles
+        return handles
 
     @property
     def pending(self) -> int:
@@ -72,6 +92,7 @@ class GroupCommitLog:
         self._queue.append((record, on_durable))
         self.stats["appends"] += 1
         if self._flush_handle is None or self._flush_handle.cancelled:
+            self._batch_opened_at = self._loop.clock.now
             self._flush_handle = self._loop.schedule_in(
                 self.flush_interval, self._flush
             )
@@ -87,6 +108,32 @@ class GroupCommitLog:
         self.wal.sync()
         self.stats["flushes"] += 1
         self.stats["flushed_records"] += len(batch)
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            handles = self._instruments(tel)
+            handles[2].observe(len(batch))
+            if self._batch_opened_at is not None:
+                handles[3].observe(
+                    (self._loop.clock.now - self._batch_opened_at) * 1000.0
+                )
+            # Sampled transactions get a WAL-sync lifecycle event: block
+            # records carry their envelope ids, and sampled() is an O(1)
+            # membership probe, so unsampled runs pay one dict miss per
+            # journaled block.  With no live traces the scan is skipped
+            # entirely.
+            tracer = tel.tracer
+            if tracer.started:
+                for record, _ in batch:
+                    if record.get("k") == "block":
+                        for tx in record["b"]["txs"]:
+                            if tracer.sampled(tx[0]):
+                                tracer.event(
+                                    tx[0],
+                                    "wal_group_commit",
+                                    node=self.telemetry_label,
+                                    batch=len(batch),
+                                )
+        self._batch_opened_at = None
         for _, on_durable in batch:
             if on_durable is not None:
                 on_durable(last_lsn)

@@ -13,6 +13,13 @@ from dataclasses import dataclass, field
 from statistics import mean, median
 from typing import Iterable, Protocol
 
+from repro.telemetry.registry import exact_percentile
+
+#: Smallest throughput span: one run whose every commit shares a single
+#: simulated timestamp still did its work in *some* interval — clamp to
+#: one sim tick instead of reporting 0 tps (the degenerate-span bug).
+MIN_SPAN_SECONDS = 1e-6
+
 
 class LatencyRecord(Protocol):
     """Anything with the lifecycle fields both systems' records expose."""
@@ -31,18 +38,28 @@ class OperationStats:
     median_latency: float
     p95_latency: float
     max_latency: float
+    p50_latency: float = 0.0
+    p99_latency: float = 0.0
+    p999_latency: float = 0.0
 
     @classmethod
     def from_latencies(cls, operation: str, latencies: list[float]) -> "OperationStats":
         ordered = sorted(latencies)
-        p95_index = min(len(ordered) - 1, int(0.95 * len(ordered)))
+        # Nearest-rank (ceil) percentiles: ``int(0.95 * n)`` under-reported
+        # the tail for small samples (p95 of 5 values picked the 5th from
+        # a 0-based index 4 only by accident of the min() clamp; p95 of 20
+        # picked the 19th instead of the ceil-rank 19th — and p95 of 19
+        # picked the 18th where nearest-rank wants the 19th).
         return cls(
             operation=operation,
             count=len(ordered),
             mean_latency=mean(ordered),
             median_latency=median(ordered),
-            p95_latency=ordered[p95_index],
+            p95_latency=exact_percentile(ordered, 0.95),
             max_latency=ordered[-1],
+            p50_latency=exact_percentile(ordered, 0.50),
+            p99_latency=exact_percentile(ordered, 0.99),
+            p999_latency=exact_percentile(ordered, 0.999),
         )
 
 
@@ -56,6 +73,11 @@ class RunMetrics:
     committed: int = 0
     submitted: int = 0
     span_seconds: float = 0.0
+    #: Deployment-wide commit-latency tails (p50/p95/p99/p999, in ms) —
+    #: filled from the telemetry registry's merged histograms when the
+    #: run came from an instrumented cluster, so every surface reports
+    #: the same numbers the registry exports.
+    percentiles_ms: dict[str, float] = field(default_factory=dict)
 
     def latency(self, operation: str) -> float:
         """Mean latency for an operation (inf when none committed)."""
@@ -99,7 +121,9 @@ def collect_metrics(
     metrics = RunMetrics(system=system, submitted=submitted, committed=committed)
     for operation, values in latencies.items():
         metrics.per_operation[operation] = OperationStats.from_latencies(operation, values)
-    if first_reception is not None and last_commit is not None and last_commit > first_reception:
-        metrics.span_seconds = last_commit - first_reception
+    if first_reception is not None and last_commit is not None and committed:
+        # Clamp the span: commits sharing one simulated timestamp used to
+        # report throughput_tps=0.0 (span 0 failed the strict > check).
+        metrics.span_seconds = max(last_commit - first_reception, MIN_SPAN_SECONDS)
         metrics.throughput_tps = committed / metrics.span_seconds
     return metrics

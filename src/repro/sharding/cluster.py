@@ -33,6 +33,8 @@ from repro.sharding.coordinator import (
 from repro.sharding.ring import ConsistentHashRing
 from repro.sharding.router import RoutingDecision, ShardRouter
 from repro.sim.events import EventLoop
+from repro.sim.rng import SeededRng
+from repro.telemetry import DEFAULT_SAMPLE_RATE, Telemetry
 
 
 @dataclass
@@ -52,6 +54,10 @@ class ShardedClusterConfig:
     #: Durability stack for every validator node *and* every 2PC agent
     #: (None keeps the abstract always-durable model).
     durability: DurabilityConfig | None = None
+    #: One deployment-wide telemetry instance (registry + tracer + flight
+    #: recorder) is shared by every shard so cross-shard traces stitch.
+    telemetry_enabled: bool = True
+    trace_sample_rate: float = DEFAULT_SAMPLE_RATE
 
 
 class ShardedCluster:
@@ -65,6 +71,16 @@ class ShardedCluster:
         self.shard_ids = [f"shard-{index}" for index in range(self.config.n_shards)]
         self.ring = ConsistentHashRing(self.shard_ids, self.config.virtual_nodes)
         self.router = ShardRouter(self.ring)
+        #: Shared across every shard: one registry, one tracer (cross-shard
+        #: timelines stitch on the globally-stable tx_id), one flight
+        #: recorder.  The sampling salt comes from the deployment seed's
+        #: own stream, so same-seed replays sample identical transactions.
+        self.telemetry = Telemetry(
+            self.loop.clock,
+            sample_salt=SeededRng(self.config.seed).stream("telemetry").getrandbits(64),
+            sample_rate=self.config.trace_sample_rate,
+            enabled=self.config.telemetry_enabled,
+        )
         self.shards: dict[str, SmartchainCluster] = {}
         for index, shard_id in enumerate(self.shard_ids):
             shard_config = ClusterConfig(
@@ -75,7 +91,15 @@ class ShardedCluster:
                 consensus=tendermint_config(max_block_txs=self.config.max_block_txs),
                 durability=self.config.durability,
             )
-            self.shards[shard_id] = SmartchainCluster(shard_config, loop=self.loop)
+            self.shards[shard_id] = SmartchainCluster(
+                shard_config, loop=self.loop, telemetry=self.telemetry, scope=shard_id
+            )
+            # A cross-shard transaction's home commit is not its end-to-end
+            # latency (the prepare phase predates the home submit); the
+            # facade records those in _cross_outcome instead.
+            self.shards[shard_id].latency_filter = (
+                lambda tx_id: tx_id not in self.cross_records
+            )
         self.agents: dict[str, TwoPhaseCoordinator] = {
             shard_id: TwoPhaseCoordinator(
                 shard_id,
@@ -94,6 +118,8 @@ class ShardedCluster:
             )
             for shard_id, cluster in self.shards.items()
         }
+        for agent in self.agents.values():
+            agent.telemetry = self.telemetry
         # All shards derive the same reserved (escrow) accounts.
         self.reserved = self.shards[self.shard_ids[0]].reserved
         self.driver = Driver(self)
@@ -173,6 +199,18 @@ class ShardedCluster:
         self.cross_records[tx_id] = record
         if callback is not None:
             self._cross_callbacks[tx_id] = callback
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.counter("tx_submitted", shard="facade").inc()
+            tel.counter("tx_cross_shard", shard="facade").inc()
+            tel.tracer.begin(
+                tx_id,
+                "submit",
+                node="facade",
+                operation=operation,
+                home=decision.home,
+                cross=True,
+            )
         self._begin_cross(payload, decision, attempt=0)
         return SubmitResult(tx_id, operation, accepted=True)
 
@@ -240,6 +278,16 @@ class ShardedCluster:
         if outcome == "committed":
             if record.committed_at is None:
                 record.committed_at = self.loop.clock.now
+                tel = self.telemetry
+                if tel is not None and tel.enabled:
+                    # End-to-end cross-shard latency: facade submit (before
+                    # the prepare phase) to final 2PC outcome.
+                    tel.observe_ms(
+                        "tx_commit_latency_ms",
+                        record.committed_at - record.submitted_at,
+                        shard="facade",
+                        operation=record.operation,
+                    )
             self._fire_cross(tx_id, "committed", detail)
         else:
             record.rejected = str(detail)
@@ -315,14 +363,44 @@ class ShardedCluster:
 
     def per_shard_metrics(self) -> dict[str, RunMetrics]:
         """Independent RunMetrics per shard (home-shard view)."""
-        return {
+        metrics = {
             shard_id: collect_metrics(shard_id, cluster.records.values())
             for shard_id, cluster in self.shards.items()
         }
+        if self.telemetry.enabled:
+            for shard_id, shard_metrics in metrics.items():
+                shard_metrics.percentiles_ms = self.telemetry.latency_percentiles(
+                    shard=shard_id
+                )
+        return metrics
 
     def aggregate_metrics(self) -> RunMetrics:
         """Deployment-wide metrics over the merged record set."""
-        return collect_metrics("SHARDED", self.records.values())
+        metrics = collect_metrics("SHARDED", self.records.values())
+        if self.telemetry.enabled:
+            # Merging every labelled series is double-count-safe: the
+            # latency_filter keeps cross-shard home commits out of the
+            # per-shard histograms, so facade + per-shard partitions the
+            # committed set.
+            metrics.percentiles_ms = self.telemetry.latency_percentiles()
+        return metrics
+
+    def latency_percentiles(self, **match_labels: str) -> dict[str, float]:
+        """Commit-latency percentile summary from the shared registry."""
+        return self.telemetry.latency_percentiles(**match_labels)
+
+    def snapshot_metrics(self) -> dict[str, Any]:
+        """Harvest every shard's counters into the shared registry and
+        return the canonical metrics dictionary."""
+        for cluster in self.shards.values():
+            cluster.snapshot_metrics()
+        registry = self.telemetry.registry
+        for shard_id, agent in self.agents.items():
+            for key, value in agent.stats.items():
+                registry.gauge(f"2pc_{key}", shard=shard_id).set(value)
+        for key, value in self.router.stats.items():
+            registry.gauge(f"router_{key}").set(value)
+        return registry.to_dict()
 
     def placement_stats(self) -> dict[str, Any]:
         """Routing + 2PC counters for benchmarks and the CLI."""

@@ -154,6 +154,10 @@ class TwoPhaseCoordinator:
             "locks_refused": 0,
             "inquiries": 0,
         }
+        #: Optional :class:`~repro.telemetry.Telemetry` (set by the facade).
+        self.telemetry = None
+        #: Coordinator-side phase clocks: tx_id -> {phase: started_at}.
+        self._phase_started: dict[str, dict[str, float]] = {}
         # Remote prepared locks must be visible to this shard's own
         # validation path — the commit/lock hook the cluster exposes.
         cluster.add_spend_guard(self._spend_guard)
@@ -207,8 +211,48 @@ class TwoPhaseCoordinator:
         return self.durable.collection("shard_locks")
 
     def _notify(self, phase: str, tx_id: str) -> None:
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            self._observe_phase(tel, phase, tx_id)
         for listener in self.phase_listeners:
             listener(self.shard_id, phase, tx_id)
+
+    def _observe_phase(self, tel, phase: str, tx_id: str) -> None:
+        """Phase-latency histograms, flight-recorder and trace events.
+
+        Coordinator-side phases bracket the protocol: ``begin`` opens the
+        prepare clock, ``commit_pending`` closes it (2pc_prepare_ms) and
+        opens the decision clock, ``decided:*`` closes that
+        (2pc_decide_ms), ``done`` closes the end-to-end clock
+        (2pc_total_ms).  Timeout aborts skip ``commit_pending``, so the
+        decision clock falls back to the begin timestamp.
+        """
+        now = self._loop.clock.now
+        tel.flight.record(now, f"2pc/{self.shard_id}", phase, tx_id=tx_id)
+        if tel.tracer.sampled(tx_id):
+            tel.tracer.event(tx_id, f"2pc_{phase}", node=self.shard_id)
+        if phase == "begin":
+            self._phase_started[tx_id] = {"begin": now}
+            return
+        clocks = self._phase_started.get(tx_id)
+        if clocks is None:
+            return  # participant-side phase, or a pre-telemetry record
+        if phase == "commit_pending":
+            tel.observe_ms(
+                "2pc_prepare_ms", now - clocks["begin"], shard=self.shard_id
+            )
+            clocks["commit_pending"] = now
+        elif phase.startswith("decided:"):
+            opened = clocks.get("commit_pending", clocks["begin"])
+            tel.observe_ms("2pc_decide_ms", now - opened, shard=self.shard_id)
+            tel.counter(
+                "2pc_decisions", shard=self.shard_id, outcome=phase.split(":", 1)[1]
+            ).inc()
+        elif phase == "done":
+            tel.observe_ms(
+                "2pc_total_ms", now - clocks["begin"], shard=self.shard_id
+            )
+            self._phase_started.pop(tx_id, None)
 
     def _send(self, target_shard: str, method: str, *args: Any) -> None:
         """Queue ``method(*args)`` for the target agent.
@@ -223,6 +267,11 @@ class TwoPhaseCoordinator:
         """
         queue = self._outgoing.setdefault(target_shard, [])
         queue.append((method, args))
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.gauge(
+                "2pc_outbox_depth", shard=self.shard_id, peer=target_shard
+            ).set(len(queue))
         if len(queue) == 1:
             # First message this tick: close the batch once the current
             # event cascade (same simulated instant) has drained.
@@ -335,6 +384,12 @@ class TwoPhaseCoordinator:
             }
         )
         self.stats["coordinated"] += 1
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.counter("2pc_begun", shard=self.shard_id).inc()
+            tel.histogram("2pc_fanout", shard=self.shard_id).observe(
+                len(participants)
+            )
         self._notify("begin", tx_id)
         self._votes[tx_id] = {}
         self._vote_payloads[tx_id] = []
@@ -625,6 +680,7 @@ class TwoPhaseCoordinator:
         self._votes.clear()
         self._vote_payloads.clear()
         self._acks.clear()
+        self._phase_started.clear()
         for handle in self._timers.values():
             handle.cancel()
         self._timers.clear()

@@ -114,6 +114,11 @@ class ReproBundle:
     detail: str
     config: dict
     schedule_json: str
+    #: Flight-recorder dump at the moment of failure: the bounded event
+    #: ring plus the span timeline of every transaction the violation
+    #: names.  Deterministic (sim-clock timestamps only), so two
+    #: same-seed runs emit byte-identical bundles.
+    flight: dict = field(default_factory=dict)
 
     def replay_command(self) -> str:
         """The exact CLI line that reproduces this failure — every knob
@@ -151,6 +156,7 @@ class ReproBundle:
                 "config": self.config,
                 "schedule": json.loads(self.schedule_json),
                 "replay": self.replay_command(),
+                "flight": self.flight,
             },
             sort_keys=True,
             indent=2,
@@ -183,6 +189,9 @@ class SimHarness:
         cfg = self.config
         self.rng = SeededRng(cfg.seed)
         durability = DurabilityConfig() if cfg.durable else None
+        # Chaos runs trace every transaction: when an invariant trips, the
+        # repro bundle must carry the failing transaction's full span
+        # timeline, not a 1-in-64 sample of it.
         if cfg.single:
             cluster = SmartchainCluster(
                 ClusterConfig(
@@ -190,6 +199,7 @@ class SimHarness:
                     seed=cfg.seed,
                     consensus=tendermint_config(max_block_txs=cfg.max_block_txs),
                     durability=durability,
+                    trace_sample_rate=1.0,
                 )
             )
         else:
@@ -200,6 +210,7 @@ class SimHarness:
                     seed=cfg.seed,
                     max_block_txs=cfg.max_block_txs,
                     durability=durability,
+                    trace_sample_rate=1.0,
                 )
             )
         self.plane = FaultPlane(cluster)
@@ -372,8 +383,28 @@ class SimHarness:
                 detail=first.detail,
                 config=cfg.to_dict() | {"steps": cfg.steps},
                 schedule_json=self.schedule.to_json(),
+                flight=self._flight_dump(first),
             )
         return report
+
+    def _flight_dump(self, violation: Violation) -> dict:
+        """Flight-recorder state for the repro bundle: the event ring plus
+        the complete span timeline of every transaction the violation's
+        detail string names (full ids or the 8-char prefixes the
+        invariant messages use)."""
+        telemetry = self.plane.cluster.telemetry
+        tracer = telemetry.tracer
+        detail = f"{violation.invariant} {violation.detail}"
+        implicated = [
+            tx_id
+            for tx_id in tracer.trace_ids()
+            if tx_id in detail or tx_id[:8] in detail
+        ]
+        return {
+            "events": telemetry.flight.dump(),
+            "dropped": telemetry.flight.dropped,
+            "traces": {tx_id: tracer.timeline(tx_id) for tx_id in implicated},
+        }
 
 
 def run_simtest(config: SimtestConfig | None = None) -> SimReport:

@@ -1,0 +1,112 @@
+"""Deterministic observability: metrics registry, tracing, flight recorder.
+
+One :class:`Telemetry` object per deployment (shared by every shard of a
+:class:`~repro.sharding.cluster.ShardedCluster`, so cross-shard traces
+stitch on the globally stable ``tx_id``).  Instrumented components hold
+an optional ``telemetry`` attribute defaulting to ``None``; every hot
+site guards with ``tel is not None and tel.enabled``, so the disabled
+cost is one attribute read and the absent cost is zero.
+
+Nothing in this package reads a wall clock or draws global randomness:
+timestamps come from the injected sim clock and the trace-sampling salt
+from a seeded rng stream — the determinism lint pins both.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.telemetry.flight import FlightRecorder
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exact_percentile,
+)
+from repro.telemetry.tracing import (
+    DEFAULT_SAMPLE_RATE,
+    TRACE_SAMPLED,
+    Tracer,
+    sample_decision,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_SAMPLE_RATE",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TRACE_SAMPLED",
+    "Telemetry",
+    "Tracer",
+    "exact_percentile",
+    "sample_decision",
+]
+
+#: The tail-percentile set every latency surface reports.
+PERCENTILE_KEYS = ("p50", "p95", "p99", "p999")
+
+
+class Telemetry:
+    """Registry + tracer + flight recorder behind one enabled flag.
+
+    Args:
+        clock: the deployment's sim clock (``.now`` attribute).
+        sample_salt: trace-sampling salt — draw from a seeded rng stream
+            (``rng.stream("telemetry").getrandbits(64)``).
+        sample_rate: fraction of transactions whose timeline is traced.
+        enabled: master switch; when False every instrumentation site
+            short-circuits after one attribute read.
+        flight_capacity: flight-recorder ring size.
+    """
+
+    def __init__(
+        self,
+        clock: Any,
+        sample_salt: int = 0,
+        sample_rate: float = DEFAULT_SAMPLE_RATE,
+        enabled: bool = True,
+        flight_capacity: int = 1024,
+    ):
+        self.clock = clock
+        self.enabled = enabled
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(clock, sample_rate=sample_rate, salt=sample_salt)
+        self.flight = FlightRecorder(flight_capacity)
+
+    # -- convenience shorthands used by instrumentation sites ---------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self.registry.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self.registry.gauge(name, **labels)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        return self.registry.histogram(name, **labels)
+
+    def observe_ms(self, name: str, seconds: float, **labels: str) -> None:
+        """Record a duration histogram point in milliseconds."""
+        self.registry.histogram(name, **labels).observe(seconds * 1000.0)
+
+    def flight_event(self, node: str, kind: str, tx_id: str = "", **detail: Any) -> None:
+        self.flight.record(self.clock.now, node, kind, tx_id, **detail)
+
+    def latency_percentiles(self, name: str = "tx_commit_latency_ms", **match_labels: str) -> dict[str, float]:
+        """Merged-percentile summary for a histogram family — the single
+        source benchmarks and facades read p50/p99/p999 from."""
+        merged = self.registry.merged_histogram(name, **match_labels)
+        if merged.count == 0:
+            return {"count": 0}
+        summary = merged.percentiles()
+        return {
+            "count": summary["count"],
+            "mean_ms": summary["mean"],
+            "p50_ms": summary["p50"],
+            "p95_ms": summary["p95"],
+            "p99_ms": summary["p99"],
+            "p999_ms": summary["p999"],
+            "max_ms": summary["max"],
+        }

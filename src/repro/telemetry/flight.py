@@ -1,0 +1,60 @@
+"""Flight recorder: a bounded ring of recent pipeline events.
+
+When an invariant trips three hundred steps into a chaos run, the step
+log says *what* diverged; the flight recorder says *where in the
+pipeline* the implicated transactions were just before it happened —
+block commits, lock adoptions, 2PC phase transitions, WAL flushes — in
+exact event-loop order.  `SimHarness` dumps it into the repro bundle on
+failure, and because every timestamp is sim time and the ring is a plain
+FIFO, the dump is byte-identical across replays of one seed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+
+class FlightRecorder:
+    """Bounded FIFO of recent state-transition events.
+
+    Args:
+        capacity: resident event bound; the oldest event falls out first
+            (what matters for diagnosis is the window *before* the
+            failure, which is exactly what survives).
+    """
+
+    def __init__(self, capacity: int = 1024):
+        self.capacity = capacity
+        self._events: "deque[dict[str, Any]]" = deque(maxlen=capacity)
+        self.recorded = 0
+
+    def record(self, ts: float, node: str, kind: str, tx_id: str = "", **detail: Any) -> None:
+        """Append one event (evicting the oldest past capacity)."""
+        self.recorded += 1
+        event: dict[str, Any] = {"t": ts, "node": node, "kind": kind}
+        if tx_id:
+            event["tx"] = tx_id
+        if detail:
+            event.update(detail)
+        self._events.append(event)
+
+    @property
+    def dropped(self) -> int:
+        """Events that aged out of the ring."""
+        return self.recorded - len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def dump(self) -> list[dict[str, Any]]:
+        """The resident window, oldest first."""
+        return [dict(event) for event in self._events]
+
+    def events_for(self, tx_id: str) -> list[dict[str, Any]]:
+        """Resident events mentioning one transaction."""
+        return [dict(event) for event in self._events if event.get("tx") == tx_id]
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.recorded = 0

@@ -1,0 +1,170 @@
+"""Per-transaction lifecycle tracing.
+
+A *trace* is the ordered list of lifecycle events one transaction
+produced as it moved through the pipeline — submit, mempool admission,
+signature verification, consensus propose/commit, 2PC phases, WAL group
+commit, application.  Traces are keyed by ``tx_id``: the id is globally
+stable across shard boundaries (2PC ships the same payload), so one
+shared :class:`Tracer` per deployment stitches the cross-shard timeline
+together without any wire-format changes beyond the envelope's sampling
+flag.
+
+Determinism: timestamps come only from the injected sim clock, and the
+sampling decision is a pure hash of ``(salt, tx_id)`` — the salt is
+drawn once from the deployment's seeded rng at construction, so replays
+of one seed sample the identical transaction set, and every shard of a
+deployment (sharing one tracer) agrees on what is sampled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Any
+
+#: Envelope flag bit: this transaction's trace is sampled.
+TRACE_SAMPLED = 1
+
+#: Default fraction of transactions traced (metrics are never sampled —
+#: only the per-transaction event timelines are).
+DEFAULT_SAMPLE_RATE = 1.0 / 64.0
+
+_SAMPLE_SPACE = 1 << 53
+
+
+def sample_decision(salt: int, trace_id: str, rate: float) -> bool:
+    """Deterministic sampling verdict for one trace id.
+
+    Pure function of its arguments: hash the salted id into [0, 1) and
+    compare against the rate.  No rng state is consumed per decision, so
+    tracing config cannot perturb any other seeded stream.
+    """
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    digest = hashlib.sha3_256(f"{salt}:{trace_id}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") % _SAMPLE_SPACE < rate * _SAMPLE_SPACE
+
+
+class Tracer:
+    """Bounded store of sampled per-transaction event timelines.
+
+    Args:
+        clock: the deployment's :class:`~repro.sim.events.SimClock` (or
+            anything with a ``now`` attribute) — the *only* time source.
+        sample_rate: fraction of transactions traced.
+        salt: sampling salt; draw it from a seeded rng stream.
+        max_traces: resident trace bound (oldest evicted beyond it).
+        max_events: per-trace event bound (a runaway retry loop must not
+            grow one timeline without bound).
+    """
+
+    def __init__(
+        self,
+        clock: Any,
+        sample_rate: float = DEFAULT_SAMPLE_RATE,
+        salt: int = 0,
+        max_traces: int = 4096,
+        max_events: int = 512,
+    ):
+        self._clock = clock
+        self.sample_rate = sample_rate
+        self.salt = salt
+        self.max_traces = max_traces
+        self.max_events = max_events
+        self._traces: "OrderedDict[str, list[dict[str, Any]]]" = OrderedDict()
+        self.started = 0
+        self.skipped = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def begin(self, trace_id: str, name: str = "submit", node: str = "", **attrs: Any) -> bool:
+        """Open a trace (idempotent).  Returns the sampling verdict."""
+        if trace_id in self._traces:
+            return True
+        if not sample_decision(self.salt, trace_id, self.sample_rate):
+            self.skipped += 1
+            return False
+        self.started += 1
+        self._traces[trace_id] = []
+        while len(self._traces) > self.max_traces:
+            self._traces.popitem(last=False)
+        self.event(trace_id, name, node=node, **attrs)
+        return True
+
+    def sampled(self, trace_id: str) -> bool:
+        """Is this transaction's timeline being recorded?  O(1)."""
+        return trace_id in self._traces
+
+    def event(self, trace_id: str, name: str, node: str = "", **attrs: Any) -> None:
+        """Append one instant event to a sampled trace (no-op otherwise)."""
+        timeline = self._traces.get(trace_id)
+        if timeline is None or len(timeline) >= self.max_events:
+            return
+        entry: dict[str, Any] = {"t": self._clock.now, "name": name}
+        if node:
+            entry["node"] = node
+        if attrs:
+            entry.update(attrs)
+        timeline.append(entry)
+
+    # -- reads --------------------------------------------------------------
+
+    def trace_ids(self) -> list[str]:
+        return list(self._traces)
+
+    def timeline(self, trace_id: str) -> list[dict[str, Any]]:
+        """The trace's events, in the order they occurred (event-loop
+        order *is* causal order in the deterministic simulation)."""
+        return [dict(entry) for entry in self._traces.get(trace_id, [])]
+
+    def spans(self, trace_id: str) -> list[dict[str, Any]]:
+        """Derived stage spans: consecutive events become (stage, start,
+        end) intervals — the pipeline dwell times the paper's per-stage
+        profiling needs."""
+        timeline = self._traces.get(trace_id) or []
+        spans: list[dict[str, Any]] = []
+        for previous, current in zip(timeline, timeline[1:]):
+            spans.append(
+                {
+                    "stage": f"{previous['name']} -> {current['name']}",
+                    "start": previous["t"],
+                    "end": current["t"],
+                    "duration": current["t"] - previous["t"],
+                    "node": current.get("node", ""),
+                }
+            )
+        return spans
+
+    def render_tree(self, trace_id: str) -> str:
+        """Human-readable span tree for one transaction, grouped by the
+        node that emitted each event (the CLI ``trace`` demo's output)."""
+        timeline = self._traces.get(trace_id)
+        if not timeline:
+            return f"trace {trace_id[:12]}: not sampled (or evicted)"
+        t0 = timeline[0]["t"]
+        total = timeline[-1]["t"] - t0
+        lines = [
+            f"trace {trace_id[:12]}…  events={len(timeline)}  "
+            f"span={total * 1000:.3f}ms"
+        ]
+        for index, entry in enumerate(timeline):
+            connector = "└─" if index == len(timeline) - 1 else "├─"
+            offset = (entry["t"] - t0) * 1000
+            extras = {
+                key: value
+                for key, value in entry.items()
+                if key not in ("t", "name", "node")
+            }
+            extra_text = (
+                "  " + " ".join(f"{k}={v}" for k, v in sorted(extras.items()))
+                if extras
+                else ""
+            )
+            node = entry.get("node", "")
+            node_text = f"  [{node}]" if node else ""
+            lines.append(
+                f"{connector} t+{offset:9.3f}ms  {entry['name']}{node_text}{extra_text}"
+            )
+        return "\n".join(lines)

@@ -52,6 +52,35 @@ class TestCollectMetrics:
         assert stats.p95_latency == 100.0
         assert stats.count == 5
 
+    def test_percentiles_use_nearest_rank_ceil(self):
+        """Pin the convention: p95 of 20 samples is the value at rank
+        ceil(0.95*20)=19 (1-based) — the 19th value, not the 20th; and
+        p95 of 19 samples is rank ceil(18.05)=19, the maximum.  The old
+        ``int(0.95*n)`` index under-reported the second case."""
+        twenty = [float(value) for value in range(1, 21)]
+        stats = OperationStats.from_latencies("X", twenty)
+        assert stats.p95_latency == 19.0
+        assert stats.p50_latency == 10.0
+        assert stats.p99_latency == 20.0
+        assert stats.p999_latency == 20.0
+        nineteen = [float(value) for value in range(1, 20)]
+        assert OperationStats.from_latencies("X", nineteen).p95_latency == 19.0
+
+    def test_degenerate_span_clamps_not_zero(self):
+        """Every commit at one simulated instant used to yield a 0-second
+        span and 0 tps; the span now clamps to one sim tick."""
+        records = [
+            FakeRecord("CREATE", 1.0, 1.0),
+            FakeRecord("CREATE", 1.0, 1.0),
+        ]
+        metrics = collect_metrics("SCDB", records)
+        assert metrics.span_seconds == 1e-6
+        assert metrics.throughput_tps == 2 / 1e-6
+
+    def test_percentiles_ms_defaults_empty(self):
+        metrics = collect_metrics("SCDB", [FakeRecord("CREATE", 0.0, 1.0)])
+        assert metrics.percentiles_ms == {}
+
 
 class TestReport:
     def test_format_table_alignment(self):

@@ -1,0 +1,70 @@
+"""Rendering helpers in :mod:`repro.metrics.report` (pure units)."""
+
+from repro.metrics.report import _render, format_series, format_table, ratio
+
+
+class TestRender:
+    def test_integer_passthrough(self):
+        assert _render(42) == "42"
+        assert _render("CREATE") == "CREATE"
+
+    def test_float_precision_tiers(self):
+        """Three significance tiers: >=100 one decimal, >=1 three, <1 four."""
+        assert _render(1234.5678) == "1234.6"
+        assert _render(12.34567) == "12.346"
+        assert _render(0.123456) == "0.1235"
+        assert _render(0.0) == "0"
+
+    def test_negative_floats_follow_magnitude(self):
+        assert _render(-250.0) == "-250.0"
+        assert _render(-2.5) == "-2.500"
+
+
+class TestFormatTable:
+    def test_columns_right_aligned_to_widest_cell(self):
+        text = format_table(
+            ["op", "latency"], [["CREATE", 0.5], ["ACCEPT_BID", 12.25]]
+        )
+        lines = text.splitlines()
+        header, rule, first, second = lines
+        # Every line is the same width and cells align on the right edge.
+        assert len({len(line) for line in lines}) == 1
+        assert header.endswith("latency")
+        assert first.endswith("0.5000")
+        assert second.endswith("12.250")
+        assert set(rule) <= {"-", " "}
+
+    def test_title_is_first_line_when_given(self):
+        with_title = format_table(["a"], [[1]], title="T")
+        assert with_title.splitlines()[0] == "T"
+        without = format_table(["a"], [[1]])
+        assert without.splitlines()[0].strip() == "a"
+
+    def test_empty_rows_render_header_and_rule_only(self):
+        text = format_table(["x", "y"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestFormatSeries:
+    def test_pairs_zip_in_order(self):
+        text = format_series("fig", [1, 2, 3], [0.1, 0.2, 0.3], "size", "lat")
+        lines = text.splitlines()
+        assert lines[0] == "fig"
+        assert len(lines) == 3 + 3  # title + header + rule + 3 rows
+        assert lines[4].split() == ["2", "0.2000"]
+
+    def test_unequal_lengths_truncate_to_shorter(self):
+        text = format_series("fig", [1, 2, 3], [0.1], "x", "y")
+        assert len(text.splitlines()) == 4  # title + header + rule + 1 row
+
+
+class TestRatio:
+    def test_plain_division(self):
+        assert ratio(10, 2) == 5.0
+
+    def test_zero_and_negative_denominators_are_inf(self):
+        assert ratio(1, 0) == float("inf")
+        assert ratio(1, -5) == float("inf")
+
+    def test_zero_numerator(self):
+        assert ratio(0, 4) == 0.0

@@ -96,7 +96,11 @@ class TestNoGlobalRandomness:
         may draw on nothing but the injected event loop — and the
         byzantine fault family (ISSUE 6): liars, adversarial clients and
         corruption schedules must themselves replay byte-for-byte, or a
-        repro bundle of a safety violation is worthless."""
+        repro bundle of a safety violation is worthless — and the
+        telemetry layer (ISSUE 7): every histogram sample, span event and
+        flight-recorder entry is stamped from the injected sim clock, so
+        the observability plane replays as deterministically as the data
+        plane it watches."""
         for rel in (
             "sharding/coordinator.py",
             "consensus/mempool.py",
@@ -114,6 +118,10 @@ class TestNoGlobalRandomness:
             "simtest/workload.py",
             "simtest/schedule.py",
             "simtest/plane.py",
+            "telemetry/__init__.py",
+            "telemetry/registry.py",
+            "telemetry/tracing.py",
+            "telemetry/flight.py",
         ):
             source = (SRC / rel).read_text()
             assert "import random" not in source, rel

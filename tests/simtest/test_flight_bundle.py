@@ -1,0 +1,83 @@
+"""Flight-recorder dumps in repro bundles.
+
+The acceptance contract: a forced invariant failure produces a repro
+bundle whose flight dump carries the failing transaction's complete span
+timeline, byte-identical across two same-seed harnesses.
+"""
+
+import json
+
+from repro.crypto.sigcache import SignatureCache, set_shared_cache
+from repro.simtest import SimHarness, SimtestConfig
+from repro.simtest.invariants import Invariant
+
+
+def _forced_harness(seed: int = 7, steps: int = 12, **kwargs) -> SimHarness:
+    """A harness with one always-failing probe that names the earliest
+    committed transaction (by its 8-char prefix, like real invariants)."""
+    harness = SimHarness(SimtestConfig(seed=seed, steps=steps, **kwargs))
+
+    def forced(plane):
+        committed = sorted(
+            tx_id
+            for tx_id, record in plane.cluster.records.items()
+            if record.committed_at is not None
+        )
+        if committed:
+            return [f"forced probe tripped: tx={committed[0][:8]} implicated"]
+        return []
+
+    harness.checker.register(Invariant("forced_probe", forced, scope="step"))
+    return harness
+
+
+def _run_forced(seed: int = 7, **kwargs):
+    previous = set_shared_cache(SignatureCache())
+    try:
+        harness = _forced_harness(seed=seed, **kwargs)
+        return harness, harness.run()
+    finally:
+        set_shared_cache(previous)
+
+
+class TestFlightBundle:
+    def test_bundle_carries_implicated_trace(self):
+        harness, report = _run_forced()
+        assert not report.ok
+        bundle = report.bundle
+        assert bundle.invariant == "forced_probe"
+        flight = bundle.flight
+        assert flight["events"], "flight ring empty at failure"
+        # The violation names a tx by 8-char prefix; its full timeline
+        # must be resolved into the bundle.
+        assert len(flight["traces"]) == 1
+        (tx_id, timeline), = flight["traces"].items()
+        assert tx_id[:8] in bundle.detail
+        names = [event["name"] for event in timeline]
+        assert names[0] == "submit"
+        assert "mempool_admit" in names
+        assert "applied" in names
+
+    def test_flight_ring_has_block_commits(self):
+        _, report = _run_forced()
+        kinds = {event["kind"] for event in report.bundle.flight["events"]}
+        assert "block_commit" in kinds
+
+    def test_bundle_json_embeds_flight_and_is_replayable(self):
+        _, report = _run_forced()
+        payload = json.loads(report.bundle.to_json())
+        assert payload["flight"]["traces"]
+        assert payload["invariant"] == "forced_probe"
+        assert "--seed 7" in payload["replay"]
+
+    def test_same_seed_bundles_are_byte_identical(self):
+        _, first = _run_forced(seed=21)
+        _, second = _run_forced(seed=21)
+        assert first.bundle is not None and second.bundle is not None
+        assert first.bundle.to_json() == second.bundle.to_json()
+
+    def test_single_cluster_bundle_also_carries_flight(self):
+        _, report = _run_forced(seed=5, single=True)
+        assert not report.ok
+        assert report.bundle.flight["events"]
+        assert report.bundle.flight["traces"]

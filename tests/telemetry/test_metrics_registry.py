@@ -1,0 +1,183 @@
+"""Registry semantics: exact percentiles, merge, canonical exports."""
+
+import json
+
+import pytest
+
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exact_percentile,
+)
+
+
+class TestExactPercentile:
+    def test_nearest_rank_ceil_convention(self):
+        """p95 of 5 samples is the 5th value (rank ceil(0.95*5)=5), not
+        the 4th (the int() truncation bias the seed collector had)."""
+        ordered = [1.0, 2.0, 3.0, 4.0, 100.0]
+        assert exact_percentile(ordered, 0.95) == 100.0
+        assert exact_percentile(ordered, 0.50) == 3.0
+        assert exact_percentile(ordered, 0.0) == 1.0
+        assert exact_percentile(ordered, 1.0) == 100.0
+
+    def test_known_distribution(self):
+        """Against 1..100, p-th percentile is exactly the p-th value."""
+        ordered = [float(value) for value in range(1, 101)]
+        assert exact_percentile(ordered, 0.50) == 50.0
+        assert exact_percentile(ordered, 0.95) == 95.0
+        assert exact_percentile(ordered, 0.99) == 99.0
+        assert exact_percentile(ordered, 0.999) == 100.0
+
+    def test_single_sample(self):
+        assert exact_percentile([7.0], 0.999) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            exact_percentile([], 0.5)
+
+
+class TestCounterGauge:
+    def test_counter_monotonic(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13.0
+
+
+class TestHistogram:
+    def test_exact_percentiles_unsorted_observations(self):
+        histogram = Histogram()
+        for value in [5.0, 1.0, 3.0, 2.0, 4.0]:
+            histogram.observe(value)
+        assert histogram.exact
+        assert histogram.percentile(0.50) == 3.0
+        assert histogram.percentile(1.0) == 5.0
+        summary = histogram.percentiles()
+        assert summary["count"] == 5
+        assert summary["mean"] == 3.0
+        assert summary["min"] == 1.0 and summary["max"] == 5.0
+
+    def test_degrades_past_sample_limit(self):
+        """Beyond the retention bound, percentiles become conservative
+        bucket upper bounds (over-, never under-estimates)."""
+        histogram = Histogram(sample_limit=10)
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert not histogram.exact
+        assert histogram.count == 100
+        true_p99 = 99.0
+        assert histogram.percentile(0.99) >= true_p99
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram().percentile(0.95) == 0.0
+        assert Histogram().percentiles() == {"count": 0}
+
+    def test_merge_preserves_exactness(self):
+        """Merging shard histograms keeps exact percentiles when the
+        combined samples fit — percentiles of the merge equal percentiles
+        of the pooled observations."""
+        left, right = Histogram(), Histogram()
+        left_values = [1.0, 5.0, 9.0]
+        right_values = [2.0, 4.0, 100.0]
+        for value in left_values:
+            left.observe(value)
+        for value in right_values:
+            right.observe(value)
+        merged = left.merge(right)
+        pooled = sorted(left_values + right_values)
+        assert merged.exact
+        assert merged.count == 6
+        assert merged.sum == sum(pooled)
+        for quantile in (0.5, 0.95, 0.99, 0.999):
+            assert merged.percentile(quantile) == exact_percentile(pooled, quantile)
+
+    def test_merge_accumulates_buckets(self):
+        left, right = Histogram(), Histogram()
+        left.observe(3.0)  # bucket 2**2
+        right.observe(3.5)  # same bucket
+        right.observe(100.0)  # bucket 2**7
+        merged = left.merge(right)
+        assert merged.buckets[2] == 2
+        assert merged.buckets[7] == 1
+
+    def test_nonpositive_values_clamp_to_first_bucket(self):
+        histogram = Histogram()
+        histogram.observe(0.0)
+        histogram.observe(-1.0)
+        assert histogram.count == 2
+        assert histogram.percentile(0.5) == -1.0  # exact path still works
+
+
+class TestMetricsRegistry:
+    def test_label_series_are_independent(self):
+        registry = MetricsRegistry()
+        registry.counter("tx", shard="a").inc()
+        registry.counter("tx", shard="b").inc(2)
+        assert registry.counter("tx", shard="a").value == 1
+        assert registry.counter("tx", shard="b").value == 2
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_merged_histogram_filters_on_labels(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", shard="a", operation="CREATE").observe(1.0)
+        registry.histogram("lat", shard="a", operation="TRANSFER").observe(2.0)
+        registry.histogram("lat", shard="b", operation="CREATE").observe(3.0)
+        assert registry.merged_histogram("lat").count == 3
+        assert registry.merged_histogram("lat", shard="a").count == 2
+        assert registry.merged_histogram("lat", operation="CREATE").count == 2
+        assert registry.merged_histogram("lat", shard="b", operation="CREATE").count == 1
+
+    def test_to_json_is_canonical(self):
+        """Same observations in different insertion order export the
+        same bytes — the property repro bundles rely on."""
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("a", node="n1").inc()
+        first.histogram("h", node="n1").observe(2.0)
+        second.histogram("h", node="n1").observe(2.0)
+        second.counter("a", node="n1").inc()
+        assert first.to_json() == second.to_json()
+        payload = json.loads(first.to_json())
+        assert payload["a"]["node=n1"]["kind"] == "counter"
+        assert payload["h"]["node=n1"]["count"] == 1
+
+    def test_render_prometheus_shapes(self):
+        registry = MetricsRegistry()
+        registry.counter("tx_total", shard="a").inc(3)
+        registry.gauge("depth").set(7)
+        histogram = registry.histogram("lat_ms", shard="a")
+        histogram.observe(1.5)
+        histogram.observe(3.0)
+        text = registry.render_prometheus()
+        assert "# TYPE tx_total counter" in text
+        assert 'tx_total{shard="a"} 3.0' in text
+        assert "depth 7.0" in text
+        assert "# TYPE lat_ms histogram" in text
+        # Cumulative buckets end at +Inf == count.
+        assert 'lat_ms_bucket{shard="a",le="+Inf"} 2' in text
+        assert 'lat_ms_sum{shard="a"} 4.5' in text
+        assert 'lat_ms_count{shard="a"} 2' in text
+
+    def test_instruments_iterate_in_canonical_order(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a", z="1")
+        registry.counter("a", b="0")
+        names = [(name, labels) for name, labels, _ in registry.instruments()]
+        assert names == [("a", {"b": "0"}), ("a", {"z": "1"}), ("b", {})]
