@@ -1,5 +1,12 @@
 """Marketplace analytics and fraud screening over committed state."""
 
+from repro.analytics.common import (
+    ScanSource,
+    ViewSource,
+    custody_walk,
+    tx_recipient,
+    tx_requester,
+)
 from repro.analytics.fraud import Finding, FraudAnalyzer
 from repro.analytics.queries import (
     MarketplaceAnalytics,
@@ -13,4 +20,9 @@ __all__ = [
     "MarketplaceAnalytics",
     "ProvenanceStep",
     "RequestSummary",
+    "ScanSource",
+    "ViewSource",
+    "custody_walk",
+    "tx_recipient",
+    "tx_requester",
 ]

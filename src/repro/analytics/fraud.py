@@ -7,11 +7,29 @@ committed collections — no event scraping, no contract instrumentation.
 Each detector returns :class:`Finding` records; none of them mutates
 state.  They are heuristics: a finding is a lead for an analyst, not a
 verdict.
+
+Two correctness rules shared with :mod:`repro.analytics.queries`:
+
+- Party extraction goes through :func:`repro.analytics.common.tx_requester`
+  and :func:`~repro.analytics.common.tx_recipient`, which return ``None``
+  on malformed transactions (empty inputs, missing owner lists) instead
+  of raising — a hostile payload must not crash the screen.
+- Custody chains (``rapid_flips``) follow the exact
+  ``(transaction_id, output_index)`` spend pair, so a change output
+  going back to the seller is not mistaken for a flip.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.analytics.common import (
+    ScanSource,
+    ViewSource,
+    custody_walk,
+    tx_recipient,
+    tx_requester,
+)
 from repro.core.server import SmartchainServer
 
 
@@ -28,9 +46,21 @@ class Finding:
 class FraudAnalyzer:
     """Query-driven fraud screening for the marketplace."""
 
-    def __init__(self, server: SmartchainServer):
+    def __init__(self, server: SmartchainServer, source: str = "auto"):
+        if source not in ("auto", "views", "scan"):
+            raise ValueError(f"unknown analytics source {source!r}")
         self._server = server
         self._transactions = server.database.collection("transactions")
+        self._mode = source
+
+    def _source(self):
+        if self._mode != "scan":
+            views = getattr(self._server, "views", None)
+            if views is not None and (
+                self._mode == "views" or self._server.views_current()
+            ):
+                return ViewSource(views)
+        return ScanSource(self._transactions)
 
     def self_dealing(self) -> list[Finding]:
         """Requesters accepting bids backed by assets they once owned.
@@ -38,25 +68,25 @@ class FraudAnalyzer:
         A buyer who routes their own asset through a shill supplier and
         then "wins" it back distorts price discovery.
         """
+        source = self._source()
         findings = []
-        for accept in self._transactions.find({"operation": "ACCEPT_BID"}, copy=False):
+        for accept in source.by_operation("ACCEPT_BID"):
             metadata = accept.get("metadata") or {}
-            win_bid = self._transactions.find_one({"id": metadata.get("win_bid_id", "")}, copy=False)
+            win_bid = source.by_id(metadata.get("win_bid_id", ""))
             if win_bid is None:
                 continue
-            requester = (accept.get("inputs") or [{}])[0].get("owners_before", [None])[0]
+            requester = tx_requester(accept)
             asset_id = (win_bid.get("asset") or {}).get("id")
             if not asset_id or requester is None:
                 continue
-            create = self._transactions.find_one({"id": asset_id}, copy=False)
+            create = source.by_id(asset_id)
             if create is None:
                 continue
-            minter = (create.get("inputs") or [{}])[0].get("owners_before", [None])[0]
-            if minter == requester:
+            if tx_requester(create) == requester:
                 findings.append(
                     Finding(
                         kind="self-dealing",
-                        subject=requester or "?",
+                        subject=requester,
                         detail="requester accepted a bid backed by an asset they minted",
                         transactions=(accept["id"], win_bid["id"], asset_id),
                     )
@@ -69,17 +99,18 @@ class FraudAnalyzer:
         Persistent losing bids at scale can be deliberate price probing
         or denial-of-auction behaviour.
         """
+        source = self._source()
         losses: dict[str, list[str]] = {}
         wins: set[str] = set()
-        for accept in self._transactions.find({"operation": "ACCEPT_BID"}, copy=False):
+        for accept in source.by_operation("ACCEPT_BID"):
             metadata = accept.get("metadata") or {}
-            win_bid = self._transactions.find_one({"id": metadata.get("win_bid_id", "")}, copy=False)
+            win_bid = source.by_id(metadata.get("win_bid_id", ""))
             if win_bid is not None:
-                winner = (win_bid.get("inputs") or [{}])[0].get("owners_before", [None])[0]
+                winner = tx_requester(win_bid)
                 if winner:
                     wins.add(winner)
-        for returned in self._transactions.find({"operation": "RETURN"}, copy=False):
-            recipient = (returned.get("outputs") or [{}])[0].get("public_keys", [None])[0]
+        for returned in source.by_operation("RETURN"):
+            recipient = tx_recipient(returned)
             if recipient:
                 losses.setdefault(recipient, []).append(returned["id"])
         findings = []
@@ -99,24 +130,23 @@ class FraudAnalyzer:
         """Assets cycling back to a previous owner within few transfers.
 
         Ownership loops (A -> B -> A) are classic wash-trading structure.
+        The walk follows the exact output each TRANSFER spends, and the
+        holder at each hop is the owner of that followed output — change
+        outputs returning to the sender never register as a flip.
         """
+        source = self._source()
         findings = []
-        for create in self._transactions.find({"operation": "CREATE"}, copy=False):
+        for create in source.by_operation("CREATE"):
             chain: list[str] = []
-            current = create
-            for _ in range(max_hops + 1):
-                outputs = current.get("outputs") or []
-                holder = outputs[0].get("public_keys", [None])[0] if outputs else None
+            walk = custody_walk(
+                source, create, operation="TRANSFER", max_hops=max_hops
+            )
+            for payload, followed in walk:
+                holder = tx_recipient(
+                    payload, followed if followed is not None else 0
+                )
                 if holder:
                     chain.append(holder)
-                spender = self._transactions.find_one(
-                    {"inputs.fulfills.transaction_id": current["id"],
-                     "operation": "TRANSFER"},
-                    copy=False,
-                )
-                if spender is None:
-                    break
-                current = spender
             seen: dict[str, int] = {}
             for position, holder in enumerate(chain):
                 if holder in seen and position - seen[holder] <= max_hops and position > seen[holder]:
@@ -139,9 +169,9 @@ class FraudAnalyzer:
         Outlier capability counts are a signal of padded certifications
         (gaming CBID.7 subset checks).
         """
+        source = self._source()
         counts = []
-        assets = self._transactions.find({"operation": "CREATE"}, copy=False)
-        for create in assets:
+        for create in source.by_operation("CREATE"):
             data = (create.get("asset") or {}).get("data") or {}
             capabilities = data.get("capabilities") or []
             counts.append((create["id"], len(capabilities)))

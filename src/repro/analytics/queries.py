@@ -8,8 +8,18 @@ Even more complex queries are critical for supporting tasks like fraud
 analysis or other business decision-making tasks."
 
 With the declarative model all of that is plain data in indexed
-collections.  This module answers those queries directly against a
-node's :class:`~repro.core.server.SmartchainServer` state.
+collections.  This module answers those queries against a node's
+:class:`~repro.core.server.SmartchainServer` state — from the WAL-fed
+materialized views (:mod:`repro.views`) when the node has them and they
+are current, falling back to collection scans otherwise.  The
+``source`` argument forces one path (``"views"`` / ``"scan"``), which is
+how the golden parity suite asserts both answer identically.
+
+Custody walks (``provenance``) follow the **exact**
+``(transaction_id, output_index)`` spend reference — the same rule
+validation applies — via :func:`repro.analytics.common.custody_walk`.
+The old walk matched on ``transaction_id`` alone and followed an
+arbitrary branch through multi-output transactions.
 """
 
 from __future__ import annotations
@@ -17,6 +27,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from repro.analytics.common import (
+    ScanSource,
+    ViewSource,
+    custody_walk,
+    tx_requester,
+)
 from repro.core.asset import extract_capabilities
 from repro.core.server import SmartchainServer
 
@@ -36,7 +52,12 @@ class RequestSummary:
 
 @dataclass
 class ProvenanceStep:
-    """One hop in an asset's ownership history."""
+    """One hop in an asset's ownership history.
+
+    ``holders`` are the owners of the output the custody chain left this
+    transaction through (the followed branch), or of output 0 at the
+    terminal hop.
+    """
 
     transaction_id: str
     operation: str
@@ -46,36 +67,50 @@ class ProvenanceStep:
 class MarketplaceAnalytics:
     """Business/decision-support queries over committed state."""
 
-    def __init__(self, server: SmartchainServer):
+    def __init__(self, server: SmartchainServer, source: str = "auto"):
+        if source not in ("auto", "views", "scan"):
+            raise ValueError(f"unknown analytics source {source!r}")
         self._server = server
         self._transactions = server.database.collection("transactions")
+        self._mode = source
+
+    def _active_views(self):
+        """The ViewManager, when this query run may serve from views."""
+        if self._mode == "scan":
+            return None
+        views = getattr(self._server, "views", None)
+        if views is None:
+            return None
+        if self._mode == "views" or self._server.views_current():
+            return views
+        return None
+
+    def _source(self):
+        views = self._active_views()
+        if views is not None:
+            return ViewSource(views)
+        return ScanSource(self._transactions)
 
     # -- discovery --------------------------------------------------------------
 
     def open_requests(self, capability: str | None = None) -> list[dict[str, Any]]:
         """Open RFQs, optionally filtered by requested capability."""
-        return self._server.open_requests(capability)
+        return self._server.open_requests(capability, source=self._mode)
 
     def request_summary(self, request_id: str) -> RequestSummary:
         """Full activity picture for one RFQ."""
-        request = self._transactions.find_one({"id": request_id}, copy=False) or {}
-        bids = self._transactions.find({"operation": "BID", "references": request_id}, copy=False)
-        interests = self._transactions.find(
-            {"operation": "INTEREST", "references": request_id}, copy=False
-        )
-        accept = self._transactions.find_one(
-            {"operation": "ACCEPT_BID", "references": request_id}, copy=False
-        )
+        source = self._source()
+        request = source.by_id(request_id) or {}
+        bids = source.referencing("BID", request_id)
+        interests = source.referencing("INTEREST", request_id)
+        accepts = source.referencing("ACCEPT_BID", request_id)
+        accept = accepts[0] if accepts else None
         winning = None
         if accept is not None:
             winning = (accept.get("metadata") or {}).get("win_bid_id")
-        requester = ""
-        inputs = request.get("inputs") or []
-        if inputs and inputs[0].get("owners_before"):
-            requester = inputs[0]["owners_before"][0]
         return RequestSummary(
             request_id=request_id,
-            requester=requester,
+            requester=tx_requester(request) or "",
             capabilities=extract_capabilities(request.get("asset")),
             bid_count=len(bids),
             interest_count=len(interests),
@@ -85,6 +120,9 @@ class MarketplaceAnalytics:
 
     def capability_demand(self) -> dict[str, int]:
         """How often each capability is requested across all RFQs."""
+        views = self._active_views()
+        if views is not None:
+            return views.capability_demand()
         demand: dict[str, int] = {}
         for request in self._transactions.find({"operation": "REQUEST"}, copy=False):
             for capability in extract_capabilities(request.get("asset")):
@@ -96,38 +134,46 @@ class MarketplaceAnalytics:
     def provenance(self, asset_id: str) -> list[ProvenanceStep]:
         """The ordered chain of custody for an asset lineage.
 
-        Walks the spend graph from the minting transaction, following
-        whichever committed transaction spends the current tip.
+        Walks the spend graph from the minting transaction, at each hop
+        following the lowest-index output with a committed spender —
+        matched on the exact ``(transaction_id, output_index)`` pair, so
+        multi-output transactions (payment + change) never divert the
+        chain down the wrong branch.
         """
+        source = self._source()
+        start = source.by_id(asset_id)
+        if start is None:
+            return []
         steps: list[ProvenanceStep] = []
-        current = self._transactions.find_one({"id": asset_id}, copy=False)
-        while current is not None:
-            outputs = current.get("outputs") or []
+        for payload, followed in custody_walk(source, start):
+            outputs = payload.get("outputs") or []
+            pick = followed if followed is not None else 0
             # Zero-copy scan: the holders list must not alias stored state.
-            holders = list(outputs[0].get("public_keys", [])) if outputs else []
+            holders = (
+                list(outputs[pick].get("public_keys", []))
+                if 0 <= pick < len(outputs)
+                else []
+            )
             steps.append(
                 ProvenanceStep(
-                    transaction_id=current["id"],
-                    operation=current.get("operation", "?"),
+                    transaction_id=payload["id"],
+                    operation=payload.get("operation", "?"),
                     holders=holders,
                 )
             )
-            spender = self._transactions.find_one(
-                {"inputs.fulfills.transaction_id": current["id"]}, copy=False
-            )
-            if spender is None or spender["id"] == current["id"]:
-                break
-            current = spender
         return steps
 
     def holdings(self, public_key: str) -> list[dict[str, Any]]:
         """Unspent outputs (wallet view) for an account."""
-        return self._server.outputs_for(public_key)
+        return self._server.outputs_for(public_key, source=self._mode)
 
     # -- market structure -------------------------------------------------------------
 
     def bid_competition(self) -> dict[str, int]:
         """request_id -> number of bids (market concentration input)."""
+        views = self._active_views()
+        if views is not None:
+            return views.bid_competition()
         competition: dict[str, int] = {}
         for bid in self._transactions.find({"operation": "BID"}, copy=False):
             for reference in bid.get("references", []):
@@ -136,18 +182,19 @@ class MarketplaceAnalytics:
 
     def settlement_rate(self) -> float:
         """Fraction of RFQs that reached an ACCEPT_BID."""
-        requests = self._transactions.count({"operation": "REQUEST"})
+        source = self._source()
+        requests = source.count("REQUEST")
         if requests == 0:
             return 0.0
-        accepts = self._transactions.count({"operation": "ACCEPT_BID"})
-        return accepts / requests
+        return source.count("ACCEPT_BID") / requests
 
     def operation_volume(self) -> dict[str, int]:
         """Committed transaction count per operation."""
+        source = self._source()
         volume: dict[str, int] = {}
         for operation in ("CREATE", "TRANSFER", "REQUEST", "BID", "ACCEPT_BID",
                           "RETURN", "INTEREST", "PRE_REQUEST"):
-            count = self._transactions.count({"operation": operation})
+            count = source.count(operation)
             if count:
                 volume[operation] = count
         return volume

@@ -35,7 +35,16 @@ from typing import Any, Callable
 
 from repro.consensus.abci import Application
 from repro.consensus.mempool import Mempool
-from repro.consensus.types import NIL, PRECOMMIT, PREVOTE, Block, TxEnvelope, Vote
+from repro.consensus.types import (
+    NIL,
+    PRECOMMIT,
+    PREVOTE,
+    Block,
+    TxEnvelope,
+    Vote,
+    precommit_message,
+)
+from repro.crypto.keys import keypair_from_string, verify_signature
 from repro.durability.recovery import block_record
 from repro.sim.events import EventHandle, EventLoop
 from repro.sim.network import Message, Network
@@ -154,6 +163,19 @@ class Validator:
         #: Observed peer misbehavior (forged votes, double votes,
         #: equivocating proposals), bounded by ``EVIDENCE_LIMIT``.
         self.evidence: list[dict] = []
+        #: Deterministic per-validator signing identity (public half
+        #: derivable by every peer): non-nil precommits are signed, and a
+        #: quorum of those signatures is the commit certificate catch-up
+        #: serves alongside each block.
+        self.keypair = keypair_from_string(f"validator:{node_id}")
+        #: (height, round, block_id) -> {voter: precommit signature},
+        #: harvested by the vote tally; volatile like the tally itself.
+        self._precommit_sigs: dict[tuple[int, int, str], dict[str, str]] = {}
+        #: height -> commit certificate for every block this node
+        #: committed (assembled locally or adopted from verified
+        #: catch-up); journaled with the block record, so a restarted
+        #: node can keep serving verifiable catch-up.
+        self.commit_certs: dict[int, dict] = {}
         #: Optional :class:`~repro.telemetry.Telemetry` (set by the
         #: cluster); None on bare engines, so consensus-only tests pay
         #: nothing.
@@ -365,7 +387,7 @@ class Validator:
         elif kind == "CATCHUP_REQUEST":
             self._handle_catchup_request(message.payload, message.sender)
         elif kind == "CATCHUP_BLOCKS":
-            self._handle_catchup_blocks(message.payload)
+            self._handle_catchup_blocks(message.payload, message.sender)
 
     def _handle_proposal(self, block: Block, sender: str | None = None) -> None:
         if block.height < self.height:
@@ -512,6 +534,10 @@ class Validator:
         recorded = slot.get(vote.voter)
         if recorded is None:
             slot[vote.voter] = vote.block_id
+            if vote.phase == PRECOMMIT and vote.block_id != NIL and vote.sig:
+                self._precommit_sigs.setdefault(
+                    (vote.height, vote.round, vote.block_id), {}
+                )[vote.voter] = vote.sig
         elif recorded != vote.block_id:
             self._record_evidence(
                 "double_vote",
@@ -586,7 +612,16 @@ class Validator:
         if key not in self._precommitted:
             self._precommitted.add(key)
             self._send_vote(
-                Vote(PRECOMMIT, vote.height, vote.round, vote.block_id, self.node_id)
+                Vote(
+                    PRECOMMIT,
+                    vote.height,
+                    vote.round,
+                    vote.block_id,
+                    self.node_id,
+                    sig=self.keypair.sign(
+                        precommit_message(vote.height, vote.round, vote.block_id)
+                    ),
+                )
             )
         # Blockchain pipelining: the next proposer may start assembling
         # height H+1 as soon as H has a prevote quorum.
@@ -638,7 +673,15 @@ class Validator:
         else:
             self._loop.schedule_in(commit_cost, finalize)
 
-    def _apply_block(self, block: Block) -> None:
+    def _apply_block(self, block: Block, cert: dict | None = None) -> None:
+        # Assemble the commit certificate before volatile vote state is
+        # GC'd below: locally committed blocks draw on the tallied
+        # precommit signatures, catch-up-applied blocks adopt the cert
+        # that was verified on arrival.
+        if cert is None:
+            cert = self._build_commit_cert(block)
+        if cert is not None:
+            self.commit_certs[block.height] = cert
         tel = self.telemetry
         if tel is not None and tel.enabled:
             now = self._loop.clock.now
@@ -686,10 +729,57 @@ class Validator:
             # the exact chain (same value-based block ids) and can serve
             # catch-up; a decided lock needs no explicit clear — recovery
             # drops any lock at or below the recovered chain height.
-            self.persistence.journal({"k": "block", "b": block_record(block)})
+            record = {"k": "block", "b": block_record(block)}
+            if cert is not None:
+                record["cert"] = cert
+            self.persistence.journal(record)
         self.engine.record_commit(self.node_id, block)
 
+    def _build_commit_cert(self, block: Block) -> dict | None:
+        """Quorum of verified precommit signatures for a committed block.
+
+        Signatures are verified (through the cluster's verdict cache) at
+        assembly so a lying voter cannot smuggle an invalid signature
+        into the certificate and poison honest catch-up service.
+        """
+        collected = self._precommit_sigs.get(
+            (block.height, block.round, block.block_id), {}
+        )
+        message = precommit_message(block.height, block.round, block.block_id)
+        sigs = {}
+        for voter, sig in collected.items():
+            public_key = self.engine.public_keys.get(voter)
+            if public_key is not None and verify_signature(public_key, message, sig):
+                sigs[voter] = sig
+        if len(sigs) < self._quorum():
+            return None
+        return {"h": block.height, "r": block.round, "id": block.block_id, "sigs": sigs}
+
+    def _verify_commit_cert(self, block: Block, cert) -> bool:
+        """Is ``cert`` a valid quorum commit certificate for ``block``?"""
+        if not isinstance(cert, dict) or cert.get("id") != block.block_id:
+            return False
+        round_number = cert.get("r")
+        sigs = cert.get("sigs")
+        if not isinstance(round_number, int) or not isinstance(sigs, dict):
+            return False
+        validators = set(self.engine.validator_order)
+        if not set(sigs) <= validators:
+            return False
+        message = precommit_message(block.height, round_number, block.block_id)
+        valid = sum(
+            1
+            for voter, sig in sigs.items()
+            if verify_signature(self.engine.public_keys[voter], message, sig)
+        )
+        return valid >= self._quorum()
+
     def _gc_consensus_state(self, committed_height: int) -> None:
+        self._precommit_sigs = {
+            key: value
+            for key, value in self._precommit_sigs.items()
+            if key[0] > committed_height
+        }
         self._proposals = {
             key: value for key, value in self._proposals.items() if key[0] > committed_height
         }
@@ -767,17 +857,57 @@ class Validator:
         self._network.send(self.node_id, peer, "CATCHUP_REQUEST", self.height, 64)
 
     def _handle_catchup_request(self, from_height: int, sender: str) -> None:
-        blocks = [block for block in self.chain if block.height >= from_height]
-        if blocks:
-            size = sum(block.size_bytes for block in blocks)
-            self._network.send(self.node_id, sender, "CATCHUP_BLOCKS", blocks, size)
+        if self.byzantine is not None and self.byzantine.answer_catchup(
+            self, from_height, sender
+        ):
+            return
+        items = [
+            {"block": block, "cert": self.commit_certs.get(block.height)}
+            for block in self.chain
+            if block.height >= from_height
+        ]
+        if items:
+            size = sum(item["block"].size_bytes for item in items)
+            self._network.send(self.node_id, sender, "CATCHUP_BLOCKS", items, size)
 
-    def _handle_catchup_blocks(self, blocks: list[Block]) -> None:
-        for block in sorted(blocks, key=lambda item: item.height):
-            if block.height == self.height and block.previous_id == self.last_block_id:
-                self._apply_block(block)
+    def _handle_catchup_blocks(self, items: list[dict], sender: str | None = None) -> None:
+        """Adopt a served chain suffix — but only blocks that arrive with
+        a valid quorum commit certificate.
+
+        The sync path used to trust whatever prefix its peer served,
+        which let a byzantine peer feed a recovering node a forged
+        chain (catch-up poisoning).  Now each block must prove that a
+        precommit quorum committed *exactly this block id*; the first
+        failure stops the walk (later heights cannot chain onto a
+        rejected block), records ``forged_catchup`` evidence against
+        the sender, and retries catch-up from a different live peer.
+        """
+        for item in sorted(items, key=lambda entry: entry["block"].height):
+            block = item["block"]
+            if block.height != self.height or block.previous_id != self.last_block_id:
+                continue
+            if not self._verify_commit_cert(block, item.get("cert")):
+                self._record_evidence(
+                    "forged_catchup",
+                    sender=sender,
+                    height=block.height,
+                    block_id=block.block_id,
+                )
+                self._retry_catchup_elsewhere(sender)
+                break
+            self._apply_block(block, cert=item["cert"])
         self._schedule_round_timeout()
         self.maybe_propose()
+
+    def _retry_catchup_elsewhere(self, bad_peer: str | None) -> None:
+        """Re-request missed blocks from the next live peer that is not
+        the one whose answer just failed verification."""
+        for peer in self.engine.validator_order:
+            if peer in (self.node_id, bad_peer) or self._network.is_crashed(peer):
+                continue
+            self._catchup_requested_at = float("-inf")
+            self._request_catchup(peer)
+            return
 
     # -- crash hooks ---------------------------------------------------------------
 
@@ -798,6 +928,7 @@ class Validator:
         self._prevoted.clear()
         self._precommitted.clear()
         self._proposed_rounds.clear()
+        self._precommit_sigs.clear()
         self._cancel_round_timeout()
 
     def on_recover(self) -> None:
@@ -821,6 +952,8 @@ class Validator:
         return {
             "blocks": [block_record(block) for block in self.chain],
             "lock": lock,
+            # [height, cert] pairs: canonical JSON requires string keys.
+            "certs": [list(item) for item in sorted(self.commit_certs.items())],
         }
 
     def restore_durable(
@@ -828,6 +961,7 @@ class Validator:
         blocks: list[Block],
         locked_round: int = -1,
         locked_block: Block | None = None,
+        certs: dict[int, dict] | None = None,
     ) -> None:
         """Adopt disk-recovered chain and lock state after a restart.
 
@@ -844,6 +978,7 @@ class Validator:
         }
         self._locked_block = locked_block
         self._locked_round = locked_round
+        self.commit_certs = dict(certs or {})
         self._last_propose_time = float("-inf")
         self._catchup_requested_at = float("-inf")
 
@@ -865,6 +1000,12 @@ class BftEngine:
         self.network = network
         self.config = config or BftConfig()
         self.validator_order = list(validator_ids)
+        #: Every peer's signing identity is derivable from its id, so
+        #: certificate verification needs no key distribution.
+        self.public_keys = {
+            node_id: keypair_from_string(f"validator:{node_id}").public_key
+            for node_id in validator_ids
+        }
         self.validators: dict[str, Validator] = {}
         self.commits: list[CommitRecord] = []
         self._first_commit_heights: set[int] = set()

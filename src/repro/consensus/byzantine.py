@@ -27,6 +27,12 @@ The four kinds mirror the classic BFT adversary taxonomy:
   proposals/votes/catch-up and never requests catch-up itself) while
   still answering peers' catch-up requests from its stale chain — the
   lying replica that serves old reads as if they were current.
+* ``poison`` — otherwise honest, but answers ``CATCHUP_REQUEST`` with a
+  *forged* chain suffix: same heights, same parent linkage, reordered
+  transactions (hence different value ids), dressed in the real blocks'
+  commit certificates.  A recovering node that trusted its peer would
+  adopt the fork; certificate verification rejects every forged block
+  (the certificate names the honest block id) and retries elsewhere.
 
 Safety claim under test: with at most ⌊(n−1)/3⌋ concurrently-byzantine
 validators per shard, none of these behaviors may make two honest nodes
@@ -48,7 +54,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.network import Message
 
 #: Behavior kinds installable through :func:`make_behavior`.
-BEHAVIOR_KINDS = ("equivocate", "double_vote", "withhold", "stale")
+BEHAVIOR_KINDS = ("equivocate", "double_vote", "withhold", "stale", "poison")
 
 
 class ByzantineBehavior:
@@ -71,6 +77,13 @@ class ByzantineBehavior:
 
     def suppress_catchup(self, validator: "Validator") -> bool:
         """True = never ask peers for missed blocks."""
+        return False
+
+    def answer_catchup(
+        self, validator: "Validator", from_height: int, sender: str
+    ) -> bool:
+        """Take over answering a peer's catch-up request; True = the
+        behavior answered (honest service is skipped)."""
         return False
 
 
@@ -190,11 +203,54 @@ class StaleReplica(ByzantineBehavior):
         return True
 
 
+class ChainPoisoner(ByzantineBehavior):
+    """Serves forged chain suffixes to recovering peers.
+
+    Votes and proposes honestly — its whole attack is the sync path:
+    every ``CATCHUP_REQUEST`` is answered with blocks whose transaction
+    order (hence value id) is flipped wherever possible, re-linked into
+    a consistent forged suffix, and paired with the *real* blocks'
+    commit certificates.  Without certificate verification the victim
+    adopts the fork wholesale; with it, the very first forged block
+    fails (no quorum ever precommitted that id) and the victim walks
+    away with ``forged_catchup`` evidence against this node."""
+
+    kind = "poison"
+
+    def answer_catchup(
+        self, validator: "Validator", from_height: int, sender: str
+    ) -> bool:
+        real = [block for block in validator.chain if block.height >= from_height]
+        if not real:
+            return True  # nothing to serve; swallow the request
+        items = []
+        previous = real[0].previous_id
+        for block in real:
+            transactions = (
+                list(reversed(block.transactions))
+                if len(block.transactions) > 1
+                else list(block.transactions)
+            )
+            forged = Block.build(
+                block.height, block.round, block.proposer, transactions, previous
+            )
+            previous = forged.block_id
+            items.append(
+                {"block": forged, "cert": validator.commit_certs.get(block.height)}
+            )
+        size = sum(item["block"].size_bytes for item in items)
+        validator.engine.network.send(
+            validator.node_id, sender, "CATCHUP_BLOCKS", items, size
+        )
+        return True
+
+
 _REGISTRY = {
     "equivocate": EquivocatingProposer,
     "double_vote": DoubleVoter,
     "withhold": VoteWithholder,
     "stale": StaleReplica,
+    "poison": ChainPoisoner,
 }
 
 

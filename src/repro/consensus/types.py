@@ -91,10 +91,29 @@ NIL = "<nil>"
 
 @dataclass(frozen=True)
 class Vote:
-    """A validator's vote for a block (or nil) in one phase of one round."""
+    """A validator's vote for a block (or nil) in one phase of one round.
+
+    Non-nil precommits carry an Ed25519 signature over
+    :func:`precommit_message` — a quorum of them is a *commit
+    certificate*, the transferable proof a catch-up server attaches to
+    each block so a recovering node can verify a served prefix instead
+    of trusting its peer.
+    """
 
     phase: str
     height: int
     round: int
     block_id: str
     voter: str
+    sig: str = ""
+
+
+def precommit_message(height: int, round_number: int, block_id: str) -> bytes:
+    """Canonical bytes a precommit signature covers.
+
+    The round is part of the message: a commit certificate is a quorum of
+    precommits from *one* round (Tendermint's commit rule) — mixing
+    same-block precommits across rounds would certify a quorum that never
+    existed at any single round.
+    """
+    return f"precommit|{height}|{round_number}|{block_id}".encode()

@@ -80,6 +80,11 @@ class ClusterConfig:
     #: Master telemetry switch: False keeps the registry/tracer/flight
     #: recorder constructed but dormant (one attribute read per hot site).
     telemetry_enabled: bool = True
+    #: WAL-fed materialized views (:mod:`repro.views`).  None = auto:
+    #: enabled whenever durability is on (the feed tails the WAL, so a
+    #: volatile deployment has nothing to tail).  False disables even on
+    #: durable deployments.
+    views: bool | None = None
     #: Fraction of transactions whose lifecycle timeline is traced.
     #: Metrics (histograms/counters/gauges) are never sampled.
     trace_sample_rate: float = DEFAULT_SAMPLE_RATE
@@ -106,6 +111,7 @@ class SmartchainCluster:
         loop: EventLoop | None = None,
         telemetry: Telemetry | None = None,
         scope: str = "",
+        views=None,
     ):
         self.config = config or ClusterConfig()
         self.loop = loop or EventLoop()
@@ -191,6 +197,37 @@ class SmartchainCluster:
                     lambda nid=node_id: self._node_checkpoint_state(nid)
                 )
 
+        #: Deployment-level :class:`~repro.views.ViewManager` (shared by
+        #: a sharded facade, owned by a standalone durable cluster, None
+        #: when disabled or volatile) and the live feeds tailing each
+        #: node's group-commit log into it.
+        self.views = views
+        self.view_feeds: list = []
+        views_enabled = (
+            self.config.views if self.config.views is not None else True
+        ) and self.config.durability is not None
+        if views_enabled:
+            from repro.views import ChangeFeed, ViewManager
+
+            if self.views is None:
+                self.views = ViewManager(
+                    telemetry=self.telemetry, telemetry_label=self.view_shard_key
+                )
+            for node_id, durability in self.node_durability.items():
+                # One feed per node: every replica journals every block,
+                # and the manager's per-shard height cursor collapses the
+                # n-way duplication.  reopen() keeps the log object across
+                # restart-from-disk, so these subscriptions are permanent.
+                self.view_feeds.append(
+                    ChangeFeed(self.views, self.view_shard_key, durability.log)
+                )
+            for node_id, server in self.servers.items():
+                server.views = self.views
+                server.views_shard = self.view_shard_key
+                server.chain_height_provider = (
+                    lambda nid=node_id: len(self.engine.validator(nid).chain)
+                )
+
         self.driver = Driver(self)
         self.records: dict[str, TxRecord] = {}
         #: Outputs consumed by cross-shard commits (see consume_outputs):
@@ -214,6 +251,23 @@ class SmartchainCluster:
     def node_label(self, node_id: str) -> str:
         """Registry label for one node, unique across a sharded deployment."""
         return f"{self.scope}/{node_id}" if self.scope else node_id
+
+    @property
+    def view_shard_key(self) -> str:
+        """Key this cluster's blocks apply under in a view manager."""
+        return self.scope or "main"
+
+    def read_replica(self, label: str = "replica"):
+        """A follower read surface over the materialized views.
+
+        Raises:
+            RuntimeError: when views are disabled (volatile deployment).
+        """
+        if self.views is None:
+            raise RuntimeError("materialized views are disabled on this cluster")
+        from repro.views import ReadReplica
+
+        return ReadReplica(self.views, label=label)
 
     # -- submission path -----------------------------------------------------------
 
@@ -451,7 +505,7 @@ class SmartchainCluster:
         server.nested = NestedTransactionProcessor(self.reserved.escrow, server.database)
         locked_round, locked_block = recovered.locked()
         self.engine.validator(node_id).restore_durable(
-            recovered.blocks(), locked_round, locked_block
+            recovered.blocks(), locked_round, locked_block, certs=recovered.certs
         )
         self.failures.recover_now(node_id)
 
@@ -510,6 +564,22 @@ class SmartchainCluster:
             for key, value in durability.log.stats.items():
                 registry.gauge(f"wal_{key}", node=label).set(value)
             registry.gauge("wal_pending", node=label).set(durability.log.pending)
+        if self.views is not None:
+            shard = self.view_shard_key
+            view_height = self.views.height(shard)
+            chain_height = max(
+                (
+                    len(self.engine.validator(node_id).chain)
+                    for node_id in self.engine.validator_order
+                ),
+                default=0,
+            )
+            registry.gauge("view_height", shard=shard).set(view_height)
+            registry.gauge("view_lag_blocks", shard=shard).set(
+                max(0, chain_height - view_height)
+            )
+            for key, value in self.views.stats.items():
+                registry.gauge(f"view_{key}", shard=shard).set(value)
         from repro.crypto.sigcache import shared_cache
 
         cache = shared_cache()

@@ -119,6 +119,19 @@ class SmartchainServer:
         #: cluster); every site guards on it so a bare server pays zero.
         self.telemetry = None
         self.telemetry_label = node_id
+        #: Optional :class:`~repro.views.ViewManager` + the shard key this
+        #: node's blocks apply under (set by the cluster in durable
+        #: deployments).  When the views have applied every block this
+        #: node has committed, reads serve from them instead of scanning
+        #: collections; otherwise they fall back to the scan path.
+        self.views = None
+        self.views_shard = ""
+        #: Callable returning this node's committed chain height — the
+        #: freshness bar a view must clear before it may answer for the
+        #: scan (wired to the consensus validator by the cluster).
+        self.chain_height_provider: Callable[[], int] | None = None
+        #: Which side served each read (always counted, unlike telemetry).
+        self.read_stats = {"view_served": 0, "scan_fallback": 0}
         self.stats = {
             "checked": 0,
             "delivered": 0,
@@ -329,10 +342,45 @@ class SmartchainServer:
     def get_transaction(self, tx_id: str) -> dict[str, Any] | None:
         return self.database.collection("transactions").find_one({"id": tx_id})
 
-    def open_requests(self, capability: str | None = None) -> list[dict[str, Any]]:
+    def views_current(self) -> bool:
+        """May the materialized views answer for this node right now?
+
+        True when the view layer has applied at least as many of this
+        shard's blocks as this node has committed — a view answer is then
+        a superset-in-time of the node's own state, never stale.
+        """
+        if self.views is None or self.chain_height_provider is None:
+            return False
+        return self.views.height(self.views_shard) >= self.chain_height_provider()
+
+    def _count_read(self, served_from: str) -> None:
+        self.read_stats[served_from] += 1
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.counter(f"reads_{served_from}", node=self.telemetry_label).inc()
+
+    def open_requests(
+        self, capability: str | None = None, source: str = "auto"
+    ) -> list[dict[str, Any]]:
         """Open RFQs, optionally filtered by requested capability —
         the query the paper's Section 2.1 laments smart contracts cannot
-        answer ("finding open service requests for 3-D printing")."""
+        answer ("finding open service requests for 3-D printing").
+
+        ``source`` selects the read path: ``"auto"`` serves from the
+        WAL-fed materialized views whenever they are at least as fresh as
+        this node's chain (falling back to the collection scan), while
+        ``"views"`` / ``"scan"`` force one side (golden parity tests).
+        """
+        if source != "scan" and self.views is not None:
+            if source == "views" or self.views_current():
+                self._count_read("view_served")
+                return [
+                    deep_copy_json(request)
+                    for request in self.views.open_requests(
+                        capability, shard=self.views_shard
+                    )
+                ]
+        self._count_read("scan_fallback")
         # Scan zero-copy; only the surviving open requests are copied for
         # the caller, instead of every committed REQUEST.
         requests = self.database.collection("transactions").find(
@@ -352,6 +400,21 @@ class SmartchainServer:
     def bids_for(self, request_id: str) -> list[dict[str, Any]]:
         return self.context.bids_for_request(request_id)
 
-    def outputs_for(self, public_key: str) -> list[dict[str, Any]]:
-        """Unspent outputs held by an account (wallet view)."""
+    def outputs_for(
+        self, public_key: str, source: str = "auto"
+    ) -> list[dict[str, Any]]:
+        """Unspent outputs held by an account (wallet view).
+
+        Same ``source`` contract as :meth:`open_requests`.
+        """
+        if source != "scan" and self.views is not None:
+            if source == "views" or self.views_current():
+                self._count_read("view_served")
+                return [
+                    deep_copy_json(document)
+                    for document in self.views.outputs_for(
+                        public_key, shard=self.views_shard
+                    )
+                ]
+        self._count_read("scan_fallback")
         return self.database.collection("utxos").find({"public_keys": public_key})

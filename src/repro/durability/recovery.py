@@ -157,6 +157,10 @@ class RecoveredState:
     last_lsn: int = 0
     snapshot_lsn: int = 0
     replayed: int = 0
+    #: height -> commit certificate (quorum precommit signatures) for
+    #: every recovered block that journaled one; a restarted node must
+    #: be able to *serve* verifiable catch-up, not just follow it.
+    certs: dict[int, dict[str, Any]] = field(default_factory=dict)
 
     def blocks(self) -> list[Block]:
         return [rebuild_block(record) for record in self.block_records]
@@ -206,6 +210,10 @@ def recover(durability: Any, database_factory: Callable[[], Database], repair: b
         load_collections(database, snap_state.get("collections", {}))
         state.block_records = deep_copy_json(snap_state.get("blocks", []))
         state.lock = deep_copy_json(snap_state.get("lock"))
+        # Certificates snapshot as [height, cert] pairs (canonical JSON
+        # keys must be strings; heights are ints).
+        for height, cert in deep_copy_json(snap_state.get("certs", [])):
+            state.certs[height] = cert
     for lsn, record in wal.scan():
         if lsn <= state.snapshot_lsn:
             continue
@@ -214,6 +222,8 @@ def recover(durability: Any, database_factory: Callable[[], Database], repair: b
             apply_db_op(database, record)
         elif kind == "block":
             state.block_records.append(record["b"])
+            if record.get("cert") is not None:
+                state.certs[record["b"]["h"]] = record["cert"]
         elif kind == "lock":
             state.lock = {"r": record["r"], "b": record["b"]}
         state.last_lsn = max(state.last_lsn, lsn)
@@ -224,3 +234,31 @@ def recover(durability: Any, database_factory: Callable[[], Database], repair: b
         wal.snapshot_lsn = state.snapshot_lsn
         durability.reopen(wal)
     return state
+
+
+def scan_block_records(durability: Any, from_height: int = 0):
+    """Yield the journal's block records above ``from_height``, in order.
+
+    Read-only replay-to-height for change-feed bootstrap: reads the
+    newest snapshot's block list plus the WAL suffix through a fresh
+    (unrepaired) scanner, touching none of the node's live recovery
+    state.  Heights arrive ascending, so a consumer's height cursor can
+    tail straight from the last yielded record into live flushes.
+    """
+    snapshot_lsn = 0
+    snapshot = durability.snapshots.latest()
+    if snapshot is not None:
+        snapshot_lsn, snap_state = snapshot
+        for record in snap_state.get("blocks", []):
+            if record["h"] > from_height:
+                yield deep_copy_json(record)
+    wal = SegmentedWal(
+        durability.disk,
+        prefix=durability.wal.prefix,
+        segment_max_bytes=durability.wal.segment_max_bytes,
+    )
+    for lsn, record in wal.scan():
+        if lsn <= snapshot_lsn or record.get("k") != "block":
+            continue
+        if record["b"]["h"] > from_height:
+            yield deep_copy_json(record["b"])

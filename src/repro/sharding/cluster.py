@@ -58,6 +58,10 @@ class ShardedClusterConfig:
     #: recorder) is shared by every shard so cross-shard traces stitch.
     telemetry_enabled: bool = True
     trace_sample_rate: float = DEFAULT_SAMPLE_RATE
+    #: WAL-fed materialized views, deployment-global: one
+    #: :class:`~repro.views.ViewManager` merges every shard's change feed
+    #: behind the facade.  None = auto (on whenever durability is on).
+    views: bool | None = None
 
 
 class ShardedCluster:
@@ -81,6 +85,20 @@ class ShardedCluster:
             sample_rate=self.config.trace_sample_rate,
             enabled=self.config.telemetry_enabled,
         )
+        #: Deployment-global materialized views: every shard's feeds
+        #: apply into this one manager (keyed by shard scope), so facade
+        #: reads merge the whole deployment while per-shard serving
+        #: filters on the transaction's home shard.
+        views_enabled = (
+            self.config.views if self.config.views is not None else True
+        ) and self.config.durability is not None
+        self.views = None
+        if views_enabled:
+            from repro.views import ViewManager
+
+            self.views = ViewManager(
+                telemetry=self.telemetry, telemetry_label="deployment"
+            )
         self.shards: dict[str, SmartchainCluster] = {}
         for index, shard_id in enumerate(self.shard_ids):
             shard_config = ClusterConfig(
@@ -90,9 +108,14 @@ class ShardedCluster:
                 seed=self.config.seed + 7919 * index,
                 consensus=tendermint_config(max_block_txs=self.config.max_block_txs),
                 durability=self.config.durability,
+                views=views_enabled,
             )
             self.shards[shard_id] = SmartchainCluster(
-                shard_config, loop=self.loop, telemetry=self.telemetry, scope=shard_id
+                shard_config,
+                loop=self.loop,
+                telemetry=self.telemetry,
+                scope=shard_id,
+                views=self.views,
             )
             # A cross-shard transaction's home commit is not its end-to-end
             # latency (the prepare phase predates the home submit); the
@@ -358,6 +381,29 @@ class ShardedCluster:
             except ValidationError:
                 continue
         raise ValidationError("all nodes of every shard are down")
+
+    # -- deployment-wide reads (materialized views) ------------------------------
+
+    def read_replica(self, label: str = "replica"):
+        """A follower read surface over the merged deployment views —
+        the one place a query spans every shard without fan-out."""
+        if self.views is None:
+            raise ValidationError("materialized views are disabled on this deployment")
+        from repro.views import ReadReplica
+
+        return ReadReplica(self.views, label=label)
+
+    def open_requests(self, capability: str | None = None) -> list[dict[str, Any]]:
+        """Open RFQs across *all* shards, from the merged views."""
+        if self.views is None:
+            raise ValidationError("materialized views are disabled on this deployment")
+        return [deep_copy_json(r) for r in self.views.open_requests(capability)]
+
+    def outputs_for(self, public_key: str) -> list[dict[str, Any]]:
+        """One account's unspent outputs across all shards (wallet view)."""
+        if self.views is None:
+            raise ValidationError("materialized views are disabled on this deployment")
+        return [deep_copy_json(doc) for doc in self.views.outputs_for(public_key)]
 
     # -- metrics ------------------------------------------------------------------
 

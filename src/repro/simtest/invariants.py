@@ -524,6 +524,50 @@ def wal_prefix_durability(plane: FaultPlane) -> list[str]:
     return violations
 
 
+def mv_consistency(plane: FaultPlane) -> list[str]:
+    """Every materialized view equals a from-scratch recomputation.
+
+    Rebuilds a fresh :class:`~repro.views.manager.ViewManager` from each
+    shard's reference chain (the longest one — chain agreement is its
+    own invariant) and compares canonical snapshots against the live,
+    incrementally-maintained manager.  Any drift means the WAL feed
+    dropped, duplicated or mis-ordered an update somewhere in the crash/
+    partition/byzantine history — the read path would be serving wrong
+    answers while every write-path invariant still passed.
+    """
+    if not plane.durable:
+        return []
+    live = getattr(plane.cluster, "views", None)
+    if live is None:
+        return []
+    from repro.durability.recovery import block_record
+    from repro.views import ViewManager
+
+    rebuilt = ViewManager()
+    for shard_id in plane.shard_ids:
+        shard = plane.shard_cluster(shard_id)
+        chain = max(
+            (shard.engine.validator(n).chain for n in shard.engine.validator_order),
+            key=len,
+        )
+        for block in sorted(chain, key=lambda b: b.height):
+            rebuilt.apply_block_record(shard.view_shard_key, block_record(block))
+    expected = rebuilt.consistency_snapshot()
+    actual = live.consistency_snapshot()
+    violations = []
+    for key in expected:
+        if expected[key] != actual.get(key):
+            want, got = expected[key], actual.get(key)
+            if isinstance(want, list) and isinstance(got, list):
+                missing = [item for item in want if item not in got][:3]
+                ghost = [item for item in got if item not in want][:3]
+                detail = f"missing={missing} ghost={ghost}"
+            else:
+                detail = f"expected {str(want)[:120]} got {str(got)[:120]}"
+            violations.append(f"materialized view {key!r} drifted: {detail}")
+    return violations
+
+
 def all_cross_settled(plane: FaultPlane) -> list[str]:
     """Every cross-shard submission has a final outcome at quiesce."""
     if not plane.sharded:
@@ -556,6 +600,8 @@ DEFAULT_INVARIANTS: list[Invariant] = [
     Invariant("all_cross_settled", all_cross_settled, scope="quiesce", sharded_only=True),
     # Disk == memory for every durable node/agent (skips volatile runs).
     Invariant("wal_prefix_durability", wal_prefix_durability, scope="quiesce"),
+    # Incremental views == from-scratch recomputation (skips volatile runs).
+    Invariant("mv_consistency", mv_consistency, scope="quiesce"),
 ]
 
 

@@ -68,6 +68,7 @@ BYZANTINE_KINDS = (
     "byz_double_vote",
     "byz_withhold",
     "byz_stale",
+    "byz_poison",
 )
 
 #: Schedule kind -> consensus-layer behavior kind.
@@ -76,6 +77,10 @@ BYZANTINE_BEHAVIORS = {
     "byz_double_vote": "double_vote",
     "byz_withhold": "withhold",
     "byz_stale": "stale",
+    # Catch-up poisoner: bites when a crash-restart (which never consumes
+    # the disruption budget, so the overlap is schedulable) sends a
+    # recovering node to this peer for its missed suffix.
+    "byz_poison": "poison",
 }
 
 

@@ -1,0 +1,111 @@
+"""Snapshot-consistent follower reads with read-your-writes tokens.
+
+A :class:`ReadReplica` is the serving edge of the view layer: it wraps a
+:class:`~repro.views.manager.ViewManager` and answers wallet and
+marketplace queries from the materialized views, deep-copying anything
+it hands out so callers can never alias committed state.
+
+Read-your-writes works through chain-height tokens.  A client that just
+committed a write captures :meth:`ReadReplica.token` (or builds one from
+the commit's shard height); any later read that passes the token back is
+checked against the replica's applied heights and refused with
+:class:`StaleReadError` while the replica still lags — the caller
+retries or falls back to a fresher replica, the replica never silently
+serves a snapshot older than the client's own write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.encoding import deep_copy_json
+from repro.views.manager import ViewManager
+
+
+class StaleReadError(RuntimeError):
+    """The replica has not yet applied the writes the token names."""
+
+
+@dataclass(frozen=True)
+class ReadToken:
+    """Per-shard chain heights a read must be at least as fresh as."""
+
+    heights: tuple[tuple[str, int], ...] = ()
+
+    def covered_by(self, applied: dict[str, int]) -> bool:
+        return all(applied.get(shard, 0) >= height for shard, height in self.heights)
+
+    @classmethod
+    def for_heights(cls, heights: dict[str, int]) -> "ReadToken":
+        return cls(tuple(sorted(heights.items())))
+
+
+class ReadReplica:
+    """Follower read surface over one view manager."""
+
+    def __init__(self, views: ViewManager, label: str = "replica"):
+        self._views = views
+        self.label = label
+        self.stats = {"reads": 0, "stale_rejected": 0}
+
+    # -- tokens ----------------------------------------------------------------
+
+    def token(self) -> ReadToken:
+        """A token pinning this replica's current applied heights."""
+        return ReadToken.for_heights(self._views.heights())
+
+    def caught_up_to(self, token: ReadToken | None) -> bool:
+        return token is None or token.covered_by(self._views.heights())
+
+    def _admit(self, token: ReadToken | None) -> None:
+        if not self.caught_up_to(token):
+            self.stats["stale_rejected"] += 1
+            raise StaleReadError(
+                f"replica {self.label} at {self._views.heights()} "
+                f"behind token {dict(token.heights)}"
+            )
+        self.stats["reads"] += 1
+
+    # -- queries ---------------------------------------------------------------
+
+    def open_requests(
+        self, capability: str | None = None, token: ReadToken | None = None
+    ) -> list[dict[str, Any]]:
+        self._admit(token)
+        return [deep_copy_json(r) for r in self._views.open_requests(capability)]
+
+    def outputs_for(
+        self, public_key: str, token: ReadToken | None = None
+    ) -> list[dict[str, Any]]:
+        self._admit(token)
+        return [deep_copy_json(doc) for doc in self._views.outputs_for(public_key)]
+
+    def transaction(
+        self, tx_id: str, token: ReadToken | None = None
+    ) -> dict[str, Any] | None:
+        self._admit(token)
+        payload = self._views.transaction(tx_id)
+        return deep_copy_json(payload) if payload is not None else None
+
+    def bids_for(
+        self, request_id: str, token: ReadToken | None = None
+    ) -> list[dict[str, Any]]:
+        self._admit(token)
+        return [deep_copy_json(b) for b in self._views.referencing("BID", request_id)]
+
+    def bid_competition(self, token: ReadToken | None = None) -> dict[str, int]:
+        self._admit(token)
+        return self._views.bid_competition()
+
+    def capability_demand(self, token: ReadToken | None = None) -> dict[str, int]:
+        self._admit(token)
+        return self._views.capability_demand()
+
+    def operation_volume(self, token: ReadToken | None = None) -> dict[str, int]:
+        self._admit(token)
+        return self._views.operation_volume()
+
+    def settlement_rate(self, token: ReadToken | None = None) -> float:
+        self._admit(token)
+        return self._views.settlement_rate()

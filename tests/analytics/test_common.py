@@ -1,0 +1,172 @@
+"""Shared analytics helpers: malformed-input safety and exact spend walks."""
+
+import pytest
+
+from repro.analytics import ScanSource, custody_walk, tx_recipient, tx_requester
+from repro.analytics.common import follow_spend
+from repro.storage.collection import Collection
+
+
+WELL_FORMED = {
+    "id": "t1",
+    "operation": "TRANSFER",
+    "inputs": [{"owners_before": ["alice"], "fulfills": None}],
+    "outputs": [
+        {"public_keys": ["bob"], "amount": 2},
+        {"public_keys": ["alice"], "amount": 1},
+    ],
+}
+
+#: Every malformed shape a hostile client can submit: helpers must
+#: return None for all of them, never raise (the fraud screen used to
+#: crash on the first empty-inputs transaction it touched).
+MALFORMED = [
+    None,
+    "not-a-dict",
+    {},
+    {"inputs": None},
+    {"inputs": []},
+    {"inputs": "nope"},
+    {"inputs": [None]},
+    {"inputs": ["nope"]},
+    {"inputs": [{}]},
+    {"inputs": [{"owners_before": None}]},
+    {"inputs": [{"owners_before": []}]},
+    {"inputs": [{"owners_before": "alice"}]},
+    {"outputs": None},
+    {"outputs": []},
+    {"outputs": "nope"},
+    {"outputs": [None]},
+    {"outputs": [{}]},
+    {"outputs": [{"public_keys": None}]},
+    {"outputs": [{"public_keys": []}]},
+    {"outputs": [{"public_keys": "bob"}]},
+]
+
+
+class TestPartyExtraction:
+    def test_requester_and_recipient_of_a_well_formed_tx(self):
+        assert tx_requester(WELL_FORMED) == "alice"
+        assert tx_recipient(WELL_FORMED) == "bob"
+        assert tx_recipient(WELL_FORMED, output_index=1) == "alice"
+
+    @pytest.mark.parametrize("payload", MALFORMED)
+    def test_malformed_payloads_yield_none_not_a_crash(self, payload):
+        assert tx_requester(payload) is None
+        assert tx_recipient(payload) is None
+
+    def test_out_of_range_output_index_is_none(self):
+        assert tx_recipient(WELL_FORMED, output_index=7) is None
+        assert tx_recipient(WELL_FORMED, output_index=-3) is None
+
+
+def collection_of(*payloads):
+    collection = Collection("transactions")
+    for payload in payloads:
+        collection.insert_one(dict(payload))
+    return collection
+
+
+def mint(tx_id, owner):
+    return {
+        "id": tx_id,
+        "operation": "CREATE",
+        "inputs": [{"owners_before": [owner], "fulfills": None}],
+        "outputs": [{"public_keys": [owner], "amount": 3}],
+    }
+
+
+def spend(tx_id, source, index, recipients, operation="TRANSFER"):
+    return {
+        "id": tx_id,
+        "operation": operation,
+        "inputs": [
+            {
+                "owners_before": ["someone"],
+                "fulfills": {"transaction_id": source, "output_index": index},
+            }
+        ],
+        "outputs": [{"public_keys": [owner], "amount": 1} for owner in recipients],
+    }
+
+
+class TestExactPairWalk:
+    def test_spender_of_matches_the_output_index(self):
+        """The regression at the heart of this PR: a spend of output 1
+        must never be returned as the spender of output 0."""
+        source = ScanSource(
+            collection_of(
+                mint("c1", "alice"),
+                spend("t-change", "c1", 1, ["alice"]),
+                spend("t-main", "c1", 0, ["bob"]),
+            )
+        )
+        assert source.spender_of("c1", 0)["id"] == "t-main"
+        assert source.spender_of("c1", 1)["id"] == "t-change"
+        assert source.spender_of("c1", 2) is None
+
+    def test_follow_spend_prefers_the_lowest_spent_index(self):
+        source = ScanSource(
+            collection_of(
+                mint("c1", "alice"),
+                spend("t-1", "c1", 1, ["carol"]),
+                spend("t-0", "c1", 0, ["bob"]),
+            )
+        )
+        spender, index = follow_spend(source, source.by_id("c1"))
+        assert (spender["id"], index) == ("t-0", 0)
+
+    def test_follow_spend_operation_filter(self):
+        source = ScanSource(
+            collection_of(
+                mint("c1", "alice"),
+                spend("b-1", "c1", 0, ["escrow"], operation="BID"),
+            )
+        )
+        spender, index = follow_spend(source, source.by_id("c1"), operation="TRANSFER")
+        assert (spender, index) == (None, None)
+        spender, index = follow_spend(source, source.by_id("c1"), operation="BID")
+        assert (spender["id"], index) == ("b-1", 0)
+
+    def test_custody_walk_tracks_the_followed_branch(self):
+        source = ScanSource(
+            collection_of(
+                mint("c1", "alice"),
+                spend("t1", "c1", 0, ["bob", "alice"]),   # pay bob, change to alice
+                spend("t2", "t1", 0, ["carol"]),           # bob's coin moves on
+                spend("t-change", "t1", 1, ["dave"]),      # change spent separately
+            )
+        )
+        walk = custody_walk(source, source.by_id("c1"))
+        assert [(payload["id"], index) for payload, index in walk] == [
+            ("c1", 0),
+            ("t1", 0),   # follows bob's output, not the change branch
+            ("t2", None),
+        ]
+
+    def test_custody_walk_is_cycle_safe_and_bounded(self):
+        source = ScanSource(
+            collection_of(
+                mint("c1", "alice"),
+                spend("t1", "c1", 0, ["bob"]),
+                spend("t2", "t1", 0, ["alice"]),
+                # Adversarial back-edge: t2's output "spent" by t1 again.
+                {
+                    "id": "loop",
+                    "operation": "TRANSFER",
+                    "inputs": [
+                        {
+                            "owners_before": ["alice"],
+                            "fulfills": {"transaction_id": "t2", "output_index": 0},
+                        }
+                    ],
+                    "outputs": [{"public_keys": ["bob"], "amount": 1}],
+                },
+                spend("loop2", "loop", 0, ["bob"]),
+            )
+        )
+        walk = custody_walk(source, source.by_id("c1"))
+        ids = [payload["id"] for payload, _ in walk]
+        assert len(ids) == len(set(ids))  # terminated, no repeats
+        capped = custody_walk(source, source.by_id("c1"), max_hops=1)
+        assert len(capped) <= 2

@@ -1,0 +1,140 @@
+"""Golden parity: view-served analytics == from-scratch rescans.
+
+Every public answer of :class:`MarketplaceAnalytics` and
+:class:`FraudAnalyzer` is computed twice — ``source="views"`` and
+``source="scan"`` — over a history that exercises the whole marketplace
+vocabulary (multi-output transfers, a settled auction with a losing bid
+and its RETURN, wash-trade loops) plus a crash-restart in the middle.
+Any divergence means the incremental view maintenance and the
+collection-scan semantics have drifted apart.
+"""
+
+import pytest
+
+from repro.analytics import FraudAnalyzer, MarketplaceAnalytics
+from repro.core.cluster import ClusterConfig, SmartchainCluster
+from repro.crypto.keys import keypair_from_string
+from repro.durability.node import DurabilityConfig
+
+ALICE = keypair_from_string("alice")
+BOB = keypair_from_string("bob")
+CAROL = keypair_from_string("carol")
+SALLY = keypair_from_string("sally")
+
+
+def rich_history(cluster, restart_midway=False):
+    driver = cluster.driver
+    create_a = driver.prepare_create(
+        ALICE, {"capabilities": ["3d-print", "iso-9001"]}, amount=3
+    )
+    create_b = driver.prepare_create(BOB, {"capabilities": ["3d-print", "cnc"]})
+    cluster.submit_and_settle(create_a)
+    cluster.submit_and_settle(create_b)
+
+    # Multi-output split: payment to Carol, change back to Alice, then
+    # spend the change first (the provenance-regression shape).
+    split = driver.prepare_transfer(
+        ALICE,
+        [(create_a.tx_id, 0, 3)],
+        create_a.tx_id,
+        [(CAROL.public_key, 1), (ALICE.public_key, 2)],
+    )
+    cluster.submit_and_settle(split)
+    change_spend = driver.prepare_transfer(
+        ALICE, [(split.tx_id, 1, 2)], create_a.tx_id, [(BOB.public_key, 2)]
+    )
+    cluster.submit_and_settle(change_spend)
+
+    if restart_midway:
+        cluster.restart_node_from_disk(cluster.engine.validator_order[0])
+
+    # A settled auction with a losing bid (whose escrow RETURNs).
+    request = driver.prepare_request(SALLY, ["3d-print"])
+    cluster.submit_and_settle(request)
+    bid_carol = driver.prepare_bid(
+        CAROL, request.tx_id, create_a.tx_id, [(split.tx_id, 0, 1)]
+    )
+    bid_bob = driver.prepare_bid(
+        BOB, request.tx_id, create_b.tx_id, [(create_b.tx_id, 0, 1)]
+    )
+    cluster.submit_and_settle(bid_carol)
+    cluster.submit_and_settle(bid_bob)
+    accept = driver.prepare_accept_bid(SALLY, request.tx_id, bid_bob)
+    cluster.submit_and_settle(accept)
+    cluster.run()  # drain nested RETURN workers for the losing bid
+
+    # A second, still-open request.
+    open_request = driver.prepare_request(SALLY, ["cnc"])
+    cluster.submit_and_settle(open_request)
+    return create_a, request
+
+
+def assert_parity(cluster, create_a, request):
+    server = cluster.any_server()
+    assert server.views_current()
+    scan = MarketplaceAnalytics(server, source="scan")
+    views = MarketplaceAnalytics(server, source="views")
+
+    assert views.operation_volume() == scan.operation_volume()
+    assert views.capability_demand() == scan.capability_demand()
+    assert views.bid_competition() == scan.bid_competition()
+    assert views.settlement_rate() == pytest.approx(scan.settlement_rate())
+    assert views.request_summary(request.tx_id) == scan.request_summary(request.tx_id)
+    assert views.provenance(create_a.tx_id) == scan.provenance(create_a.tx_id)
+    key = lambda r: r["id"]
+    assert sorted(views.open_requests(), key=key) == sorted(scan.open_requests(), key=key)
+    for party in (ALICE, BOB, CAROL, SALLY):
+        ref = lambda d: (d["transaction_id"], d["output_index"])
+        assert sorted(map(ref, views.holdings(party.public_key))) == sorted(
+            map(ref, scan.holdings(party.public_key))
+        )
+
+    fraud_scan = FraudAnalyzer(server, source="scan")
+    fraud_views = FraudAnalyzer(server, source="views")
+    assert fraud_views.self_dealing() == fraud_scan.self_dealing()
+    assert fraud_views.bid_withdraw_churn(threshold=1) == fraud_scan.bid_withdraw_churn(threshold=1)
+    assert fraud_views.rapid_flips() == fraud_scan.rapid_flips()
+    assert fraud_views.capability_overclaim() == fraud_scan.capability_overclaim()
+    assert fraud_views.screen() == fraud_scan.screen()
+
+
+def durable_cluster(seed):
+    return SmartchainCluster(
+        ClusterConfig(
+            n_validators=4,
+            seed=seed,
+            enable_extensions=True,
+            durability=DurabilityConfig(snapshot_interval=60),
+        )
+    )
+
+
+class TestGoldenParity:
+    def test_every_answer_matches_on_a_rich_history(self):
+        cluster = durable_cluster(seed=29)
+        create_a, request = rich_history(cluster)
+        assert_parity(cluster, create_a, request)
+
+    def test_parity_survives_a_crash_restart_mid_history(self):
+        cluster = durable_cluster(seed=31)
+        create_a, request = rich_history(cluster, restart_midway=True)
+        assert_parity(cluster, create_a, request)
+
+    def test_auto_source_prefers_views_and_matches_scan(self):
+        cluster = durable_cluster(seed=37)
+        create_a, request = rich_history(cluster)
+        server = cluster.any_server()
+        before = server.read_stats["view_served"]
+        auto = MarketplaceAnalytics(server)
+        scan = MarketplaceAnalytics(server, source="scan")
+        assert auto.open_requests() == scan.open_requests()
+        assert server.read_stats["view_served"] > before
+        assert auto.operation_volume() == scan.operation_volume()
+
+    def test_unknown_source_is_rejected(self):
+        cluster = durable_cluster(seed=41)
+        server = cluster.any_server()
+        with pytest.raises(ValueError):
+            MarketplaceAnalytics(server, source="oracle")
+        with pytest.raises(ValueError):
+            FraudAnalyzer(server, source="oracle")
