@@ -131,6 +131,46 @@ class QueryError(StorageError):
 
 
 # ---------------------------------------------------------------------------
+# Sharding / elastic topology
+# ---------------------------------------------------------------------------
+
+class ShardingError(ReproError):
+    """Base class for shard-topology failures."""
+
+
+class WrongShardError(ShardingError):
+    """A request reached a shard that no longer (or never) owned its key.
+
+    Raised/reported while a key range is migrating or after a cutover
+    moved it.  ``owner`` names the shard the client should retry against
+    (None when the new owner is not yet known, e.g. mid-drain).  The
+    driver's bounded-backoff retry path keys off this type and off the
+    ``redirect`` marker in rejection reasons.
+    """
+
+    def __init__(self, message: str, owner: str | None = None):
+        self.owner = owner
+        super().__init__(message)
+
+
+class StaleEpochError(ShardingError):
+    """A routing decision was stamped with an out-of-date ring epoch.
+
+    The topology resized after the caller routed; whatever owner the
+    caller computed may be retired.  Carries the ring's
+    ``current_epoch`` so the client can re-route and retry.
+    """
+
+    def __init__(self, message: str, current_epoch: int = 0):
+        self.current_epoch = current_epoch
+        super().__init__(message)
+
+
+class MigrationError(ShardingError):
+    """A shard migration could not start or make progress."""
+
+
+# ---------------------------------------------------------------------------
 # Consensus / networking
 # ---------------------------------------------------------------------------
 

@@ -133,6 +133,12 @@ class SmartchainCluster:
         #: home-shard submissions of cross-shard transactions, whose
         #: end-to-end latency the facade records instead).
         self.latency_filter = None
+        #: Callables fired with the node id at the end of every
+        #: :meth:`resync_node` — the sharded facade hangs migration
+        #: scrubbing here, so a node restored from a pre-cutover disk
+        #: image gets its moved/received keys re-applied from the forced
+        #: migration journal before traffic reaches it.
+        self.resync_hooks: list = []
         self.network = Network(self.loop, self.rng, self.config.network)
         self.reserved = ReservedAccounts()
         self.servers: dict[str, SmartchainServer] = {}
@@ -450,6 +456,8 @@ class SmartchainCluster:
                     self.config.worker_poll_interval,
                     lambda: self._drain_one_return(node_id),
                 )
+        for hook in self.resync_hooks:
+            hook(node_id)
 
     # -- durability: checkpoints + restart-from-disk ---------------------------------
 

@@ -25,6 +25,25 @@ from repro.crypto.keys import KeyPair
 #: callback(status, payload_or_error) with status in {"committed", "rejected"}.
 DriverCallback = Callable[[str, Any], None]
 
+#: Rejection-detail substrings that mean "wrong or moving home shard" —
+#: the migration fence (``redirect:migrating``), the post-cutover tomb
+#: (``redirect:moved``), an epoch-stamped lookup against a bumped router
+#: (``stale epoch`` / ``routing epoch advanced``), or a plain wrong-shard
+#: refusal.  These are *placement* errors, not validity errors: the same
+#: signed payload succeeds once re-routed against fresh routing state.
+REDIRECT_MARKERS = (
+    "redirect",
+    "stale epoch",
+    "routing epoch advanced",
+    "wrong shard",
+)
+
+
+def is_redirect_rejection(error: Any) -> bool:
+    """True when a rejection detail names a routing/migration redirect."""
+    text = str(error)
+    return any(marker in text for marker in REDIRECT_MARKERS)
+
 
 @dataclass
 class SubmitResult:
@@ -42,6 +61,13 @@ class Driver:
     def __init__(self, cluster: "SmartchainCluster"):  # noqa: F821 (circular by design)
         self._cluster = cluster
         self.escrow_public_key = cluster.reserved.escrow.public_key
+        #: Redirect/stale-epoch rejections are retried this many times
+        #: with deterministic exponential backoff (0 disables retries).
+        self.redirect_retries = 3
+        #: Backoff base in simulated seconds: attempt k waits base * 2^k.
+        self.redirect_backoff = 0.05
+        #: tx_id -> retry attempts spent (observability + tests).
+        self.retry_log: dict[str, int] = {}
 
     # -- prepare-and-sign templates ------------------------------------------------
 
@@ -118,7 +144,51 @@ class Driver:
         payload = transaction.to_dict() if isinstance(transaction, Transaction) else transaction
         if mode not in ("sync", "async"):
             raise ReproError(f"unknown driver mode {mode!r}")
-        effective_callback = callback if mode == "async" else None
+        if mode != "async" or self.redirect_retries <= 0:
+            effective_callback = callback if mode == "async" else None
+            return self._cluster.submit_payload(
+                payload, callback=effective_callback, shard_hint=shard_hint
+            )
+        return self._submit_with_redirect_retry(payload, callback, shard_hint)
+
+    def _submit_with_redirect_retry(
+        self,
+        payload: dict[str, Any],
+        callback: DriverCallback | None,
+        shard_hint: str | None,
+    ) -> SubmitResult:
+        """Async submit that absorbs redirect/stale-epoch rejections.
+
+        A payload refused because its home shard is mid-migration (or the
+        caller's routing state predates a cutover epoch bump) is valid —
+        it just raced a reshard.  Retry it against fresh routing state
+        (hint dropped) after a deterministic exponential backoff; only a
+        non-redirect rejection or retry exhaustion reaches the caller's
+        callback.
+        """
+        tx_id = payload.get("id", "")
+
+        def on_outcome(status: str, detail: Any, attempt: int = 0) -> None:
+            if (
+                status == "rejected"
+                and attempt < self.redirect_retries
+                and is_redirect_rejection(detail)
+            ):
+                next_attempt = attempt + 1
+                self.retry_log[tx_id] = next_attempt
+                delay = self.redirect_backoff * (2**attempt)
+                self._cluster.loop.schedule_in(
+                    delay,
+                    lambda: self._cluster.submit_payload(
+                        payload,
+                        callback=lambda s, d: on_outcome(s, d, next_attempt),
+                        shard_hint=None,
+                    ),
+                )
+                return
+            if callback is not None:
+                callback(status, detail)
+
         return self._cluster.submit_payload(
-            payload, callback=effective_callback, shard_hint=shard_hint
+            payload, callback=on_outcome, shard_hint=shard_hint
         )

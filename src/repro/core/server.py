@@ -115,6 +115,13 @@ class SmartchainServer:
         self.nested = NestedTransactionProcessor(reserved.escrow, self.database)
         #: Called for each committed payload (metrics, workflow tracing).
         self.commit_hooks: list[Callable[[dict[str, Any]], None]] = []
+        #: Predicates ``(transaction_id, output_index) -> bool`` consulted
+        #: before inserting a block's fresh outputs; True suppresses the
+        #: insert.  A sharded deployment installs one that checks the
+        #: shard's migration registry, so a lagging replica catching up
+        #: past a shard split does not resurrect outputs the cutover
+        #: already shipped to another shard.
+        self.utxo_suppressors: list[Callable[[str, int], bool]] = []
         #: Optional :class:`~repro.telemetry.Telemetry` (set by the
         #: cluster); every site guards on it so a bare server pays zero.
         self.telemetry = None
@@ -288,6 +295,10 @@ class SmartchainServer:
                 for document in fresh_utxos
                 if (document["transaction_id"], document["output_index"])
                 not in spent_in_block
+                and not any(
+                    suppress(document["transaction_id"], document["output_index"])
+                    for suppress in self.utxo_suppressors
+                )
             ]
         )
         self.context.clear_staged()

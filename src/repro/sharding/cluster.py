@@ -30,6 +30,11 @@ from repro.sharding.coordinator import (
     CoordinatorConfig,
     TwoPhaseCoordinator,
 )
+from repro.sharding.migration import (
+    MigrationConfig,
+    MigrationPolicy,
+    ReshardController,
+)
 from repro.sharding.ring import ConsistentHashRing
 from repro.sharding.router import RoutingDecision, ShardRouter
 from repro.sim.events import EventLoop
@@ -62,6 +67,13 @@ class ShardedClusterConfig:
     #: :class:`~repro.views.ViewManager` merges every shard's change feed
     #: behind the facade.  None = auto (on whenever durability is on).
     views: bool | None = None
+    #: Elastic resharding state-machine tuning (always constructed; the
+    #: controller is inert until a migration starts).
+    migration: MigrationConfig = field(default_factory=MigrationConfig)
+    #: Watch ``hot_shard_share`` and auto-split hot shards.
+    auto_split: bool = False
+    #: Auto-split policy (defaults when ``auto_split`` without one).
+    migration_policy: MigrationPolicy | None = None
 
 
 class ShardedCluster:
@@ -99,67 +111,165 @@ class ShardedCluster:
             self.views = ViewManager(
                 telemetry=self.telemetry, telemetry_label="deployment"
             )
-        self.shards: dict[str, SmartchainCluster] = {}
-        for index, shard_id in enumerate(self.shard_ids):
-            shard_config = ClusterConfig(
-                n_validators=self.config.n_validators,
-                # Decorrelate per-shard stochastic choices (receiver picks,
-                # network jitter) without losing determinism.
-                seed=self.config.seed + 7919 * index,
-                consensus=tendermint_config(max_block_txs=self.config.max_block_txs),
-                durability=self.config.durability,
-                views=views_enabled,
-            )
-            self.shards[shard_id] = SmartchainCluster(
-                shard_config,
-                loop=self.loop,
-                telemetry=self.telemetry,
-                scope=shard_id,
-                views=self.views,
-            )
-            # A cross-shard transaction's home commit is not its end-to-end
-            # latency (the prepare phase predates the home submit); the
-            # facade records those in _cross_outcome instead.
-            self.shards[shard_id].latency_filter = (
-                lambda tx_id: tx_id not in self.cross_records
-            )
-        self.agents: dict[str, TwoPhaseCoordinator] = {
-            shard_id: TwoPhaseCoordinator(
-                shard_id,
-                cluster,
-                self.loop,
-                self.agent_for,
-                self._cross_outcome,
-                self.config.coordinator,
-                durability=(
-                    NodeDurability(
-                        f"agent-{shard_id}", self.loop, self.config.durability
-                    )
-                    if self.config.durability is not None
-                    else None
-                ),
-            )
-            for shard_id, cluster in self.shards.items()
-        }
-        for agent in self.agents.values():
-            agent.telemetry = self.telemetry
-        # All shards derive the same reserved (escrow) accounts.
-        self.reserved = self.shards[self.shard_ids[0]].reserved
-        self.driver = Driver(self)
+        self._views_enabled = views_enabled
         #: Facade-level lifecycle records for cross-shard transactions
         #: (their submit time predates the home-shard submit by the whole
         #: prepare phase, which is exactly the latency worth measuring).
         self.cross_records: dict[str, TxRecord] = {}
         self._cross_callbacks: dict[str, DriverCallback] = {}
-        for shard_id, cluster in self.shards.items():
-            cluster.engine.commit_listeners.append(
-                lambda record, sid=shard_id: self._on_shard_commit(sid, record)
-            )
-            cluster.add_ingress_gate(
-                lambda payload, sid=shard_id: self._foreign_input_gate(sid, payload)
+        #: Elastic resharding controller; built after the initial shards
+        #: so it can see them, consulted by commit/resync plumbing via
+        #: getattr until then.
+        self.migrator: ReshardController | None = None
+        self.shards: dict[str, SmartchainCluster] = {}
+        self.agents: dict[str, TwoPhaseCoordinator] = {}
+        for index, shard_id in enumerate(self.shard_ids):
+            self._build_shard(shard_id, index)
+        for shard_id in self.shard_ids:
+            self._build_agent(shard_id)
+        self._next_shard_index = len(self.shard_ids)
+        self.migrator = ReshardController(
+            self,
+            config=self.config.migration,
+            policy=(
+                (self.config.migration_policy or MigrationPolicy())
+                if self.config.auto_split
+                else self.config.migration_policy
+            ),
+            durability=(
+                NodeDurability("reshard-controller", self.loop, self.config.durability)
+                if self.config.durability is not None
+                else None
+            ),
+            telemetry=self.telemetry,
+        )
+        for shard_id, agent in self.agents.items():
+            self.migrator.attach_agent(shard_id, agent)
+        # All shards derive the same reserved (escrow) accounts.
+        self.reserved = self.shards[self.shard_ids[0]].reserved
+        self.driver = Driver(self)
+
+    def _build_shard(self, shard_id: str, index: int) -> None:
+        shard_config = ClusterConfig(
+            n_validators=self.config.n_validators,
+            # Decorrelate per-shard stochastic choices (receiver picks,
+            # network jitter) without losing determinism.
+            seed=self.config.seed + 7919 * index,
+            consensus=tendermint_config(max_block_txs=self.config.max_block_txs),
+            durability=self.config.durability,
+            views=self._views_enabled,
+        )
+        cluster = SmartchainCluster(
+            shard_config,
+            loop=self.loop,
+            telemetry=self.telemetry,
+            scope=shard_id,
+            views=self.views,
+        )
+        # A cross-shard transaction's home commit is not its end-to-end
+        # latency (the prepare phase predates the home submit); the
+        # facade records those in _cross_outcome instead.
+        cluster.latency_filter = lambda tx_id: tx_id not in self.cross_records
+        self.shards[shard_id] = cluster
+        cluster.engine.commit_listeners.append(
+            lambda record, sid=shard_id: self._on_shard_commit(sid, record)
+        )
+        cluster.add_ingress_gate(
+            lambda payload, sid=shard_id: self._foreign_input_gate(sid, payload)
+        )
+        # A node restored from a pre-cutover disk image must have its
+        # moved keys scrubbed back into migrated shape before traffic
+        # reaches it.
+        cluster.resync_hooks.append(
+            lambda node_id, sid=shard_id: self._scrub_after_resync(sid)
+        )
+
+    def _build_agent(self, shard_id: str) -> None:
+        agent = TwoPhaseCoordinator(
+            shard_id,
+            self.shards[shard_id],
+            self.loop,
+            self.agent_for,
+            self._cross_outcome,
+            self.config.coordinator,
+            durability=(
+                NodeDurability(f"agent-{shard_id}", self.loop, self.config.durability)
+                if self.config.durability is not None
+                else None
+            ),
+        )
+        agent.telemetry = self.telemetry
+        self.agents[shard_id] = agent
+        if self.migrator is not None:
+            self.migrator.attach_agent(shard_id, agent)
+        # A replica that commits a block late (post-heal catch-up, crash
+        # replay) must not re-mint outputs a shard migration has since
+        # shipped elsewhere: cutover deletes from every *current* source
+        # database, but a lagging node applies the minting block only
+        # after that deletion ran.  The registry row is the tombstone.
+        for server in self.shards[shard_id].servers.values():
+            server.utxo_suppressors.append(
+                lambda tx_id, index, sid=shard_id: self._migrated_out(
+                    sid, tx_id, index
+                )
             )
 
+    def _migrated_out(self, shard_id: str, tx_id: str, index: int) -> bool:
+        """True when ``shard_id``'s migration registry says the ref's
+        latest hop moved it *off* this shard (latest row wins, so a
+        round-trip that came back home does not suppress)."""
+        agent = self.agents.get(shard_id)
+        if agent is None:
+            return False
+        latest_seq = -1
+        latest_direction = ""
+        for row in agent.durable.collection("shard_migrations").find(
+            {"transaction_id": tx_id, "output_index": index}, copy=False
+        ):
+            sequence = int(row["migration_id"].rsplit("-", 1)[1])
+            if sequence > latest_seq:
+                latest_seq = sequence
+                latest_direction = row["direction"]
+        return latest_direction == "out"
+
+    def _scrub_after_resync(self, shard_id: str) -> None:
+        if self.migrator is not None:
+            self.migrator.scrub_shard(shard_id)
+
     # -- topology ---------------------------------------------------------------
+
+    def add_shard(self) -> str:
+        """Grow the deployment by one shard, live.
+
+        The new BFT group, its 2PC agent and the migration fence are all
+        wired before the ring learns the member (epoch bump), so no key
+        ever routes to a shard that is not yet able to serve it.  Only
+        *unseen* genesis keys land on the new shard at first — existing
+        placement is pinned by the router's memory until a migration
+        moves it.
+        """
+        index = self._next_shard_index
+        self._next_shard_index += 1
+        shard_id = f"shard-{index}"
+        self.shard_ids.append(shard_id)
+        self._build_shard(shard_id, index)
+        self._build_agent(shard_id)
+        self.ring.add_shard(shard_id)
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.counter("shards_added").inc()
+            tel.flight.record(self.loop.clock.now, "reshard", f"add_shard:{shard_id}")
+        return shard_id
+
+    def reshard(
+        self, source: str, target: str | None = None, plan_txs: list[str] | None = None
+    ) -> str:
+        """Start a live migration off ``source`` — onto ``target``, or
+        onto a freshly grown shard (a split) when ``target`` is None.
+        Returns the migration id (see :class:`ReshardController`)."""
+        if target is None:
+            target = self.add_shard()
+        return self.migrator.start_migration(source, target, plan_txs=plan_txs)
 
     def shard(self, shard: str | int) -> SmartchainCluster:
         """A shard's BFT cluster, by id or index."""
@@ -325,6 +435,10 @@ class ShardedCluster:
         # Placement memory: spends of these outputs route to this shard.
         for envelope in record.block.transactions:
             self.router.record_home(envelope.tx_id, shard_id)
+        migrator = self.migrator
+        if migrator is not None and migrator.policy is not None:
+            for envelope in record.block.transactions:
+                migrator.observe_commit(shard_id, envelope.payload)
 
     # -- driver-facade conveniences ----------------------------------------------
 
@@ -446,6 +560,9 @@ class ShardedCluster:
                 registry.gauge(f"2pc_{key}", shard=shard_id).set(value)
         for key, value in self.router.stats.items():
             registry.gauge(f"router_{key}").set(value)
+        if self.migrator is not None:
+            for key, value in self.migrator.stats.items():
+                registry.gauge(f"reshard_{key}").set(value)
         return registry.to_dict()
 
     def placement_stats(self) -> dict[str, Any]:

@@ -146,6 +146,12 @@ class TwoPhaseCoordinator:
         #: Listeners must not mutate the agent synchronously; schedule
         #: faults through the event loop instead.
         self.phase_listeners: list[PhaseListener] = []
+        #: Migration fences (installed by the reshard controller): each
+        #: maps an OutputRef to a ``redirect:*`` verdict while the ref's
+        #: key range is draining toward a cutover, or None.  Consulted
+        #: before the lock table so migrating outputs refuse new spends
+        #: — admissions, pool entries and 2PC prepares alike.
+        self.migration_guards: list[Callable[[OutputRef], str | None]] = []
         self.stats = {
             "coordinated": 0,
             "committed": 0,
@@ -179,7 +185,7 @@ class TwoPhaseCoordinator:
             else None
         )
         database = Database(f"shard-agent-{self.shard_id}", wal=wal)
-        for name in ("shard_locks", "shard_outbox"):
+        for name in ("shard_locks", "shard_outbox", "shard_migrations"):
             collection = database.create_collection(name)
             for path, unique in SMARTCHAINDB_LAYOUT[name]:
                 collection.create_index(path, unique=unique)
@@ -330,7 +336,29 @@ class TwoPhaseCoordinator:
             handle.cancel()
 
     def _spend_guard(self, ref: OutputRef) -> str | None:
-        """Local validation oracle: who holds/spent this output remotely."""
+        """Local validation oracle: who holds/spent this output remotely.
+
+        Verdict precedence: an active migration fence (the output is
+        draining toward a cutover), then the durable moved-out registry
+        (the output's ownership left this shard at a past cutover), then
+        the 2PC lock table.  Redirect verdicts start with the 8-char
+        ``redirect`` marker so even the truncated spender rendering of a
+        DoubleSpendError keeps enough for the driver's retry path.
+        """
+        for guard in self.migration_guards:
+            verdict = guard(ref)
+            if verdict is not None:
+                return verdict
+        moved = self.durable.collection("shard_migrations").find_one(
+            {
+                "transaction_id": ref.transaction_id,
+                "output_index": ref.output_index,
+                "direction": "out",
+            },
+            copy=False,
+        )
+        if moved is not None:
+            return f"redirect:moved:{moved['peer']}"
         lock = self._locks.find_one(
             {"transaction_id": ref.transaction_id, "output_index": ref.output_index},
             copy=False,

@@ -32,6 +32,12 @@ def _hash_point(label: str) -> int:
 class ConsistentHashRing:
     """Maps string keys to shard ids with minimal-movement resize.
 
+    Every membership change bumps :attr:`epoch`, so a topology version
+    travels with the ring: routers stamp their decisions with the epoch
+    they routed under, and a decision stamped with an older epoch is
+    known-stale — it may name a retired owner — and must be re-routed
+    rather than trusted.
+
     Args:
         shard_ids: initial shard membership.
         virtual_nodes: ring points per shard.
@@ -45,6 +51,9 @@ class ConsistentHashRing:
         if virtual_nodes < 1:
             raise ValueError(f"virtual_nodes must be >= 1, got {virtual_nodes}")
         self.virtual_nodes = virtual_nodes
+        #: Topology version: starts at 0 on an empty ring and increments
+        #: on every successful add/remove (including the constructor's).
+        self.epoch = 0
         self._members: set[str] = set()
         self._points: list[int] = []
         self._owners: list[str] = []
@@ -83,6 +92,7 @@ class ConsistentHashRing:
         self._rebuild()
 
     def _rebuild(self) -> None:
+        self.epoch += 1
         entries: list[tuple[int, str]] = []
         for shard_id in self._members:
             for vnode in range(self.virtual_nodes):
@@ -107,6 +117,30 @@ class ConsistentHashRing:
         if position == len(self._points):
             position = 0  # wrap past the last virtual node
         return self._owners[position]
+
+    def shard_for_at(self, key: str, epoch: int) -> str:
+        """Owner of ``key``, valid only at the current :attr:`epoch`.
+
+        The epoch-stamped lookup migration-aware callers use: a caller
+        holding a routing decision from epoch ``e`` re-validates it here
+        before acting, and a ring that has since resized refuses rather
+        than silently returning an owner computed on fresh topology the
+        caller thinks is the old one (or worse: the caller caching a
+        retired owner).
+
+        Raises:
+            StaleEpochError: when ``epoch`` is not the ring's current
+                epoch — the caller must re-route against fresh topology.
+            LookupError: on an empty ring.
+        """
+        from repro.common.errors import StaleEpochError
+
+        if epoch != self.epoch:
+            raise StaleEpochError(
+                f"ring epoch is {self.epoch}, caller routed at {epoch}",
+                current_epoch=self.epoch,
+            )
+        return self.shard_for(key)
 
     def key_landing_on(
         self, shard_id: str, prefix: str = "key", attempts: int = 512

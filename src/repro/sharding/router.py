@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.common.errors import StaleEpochError
 from repro.core.transaction import OutputRef
 from repro.sharding.ring import ConsistentHashRing
 
@@ -67,18 +68,53 @@ class ShardRouter:
 
     def __init__(self, ring: ConsistentHashRing):
         self.ring = ring
+        #: Routing epoch: bumped at every migration cutover (placement
+        #: moved even if the ring membership did not) and re-synced to
+        #: ring epochs on resize.  Clients stamp submissions with the
+        #: epoch they routed under; a stale stamp is rejected with a
+        #: redirect instead of silently landing on a retired owner.
+        self.epoch = ring.epoch
         #: tx id -> shard it committed (or was submitted) on.  Grows with
         #: the ledger; safe eviction needs per-output spent tracking
         #: (dropping an entry whose outputs are live would mis-route its
         #: spends) and lands with the rebalancing PR.
         self._tx_home: dict[str, str] = {}
-        self.stats = {"routed": 0, "single_shard": 0, "cross_shard": 0}
+        self.stats = {
+            "routed": 0,
+            "single_shard": 0,
+            "cross_shard": 0,
+            "stale_epoch_rejected": 0,
+        }
 
     # -- placement memory -----------------------------------------------------
 
     def record_home(self, tx_id: str, shard_id: str) -> None:
         """Remember which shard owns a transaction's outputs."""
         self._tx_home[tx_id] = shard_id
+
+    # -- epochs ---------------------------------------------------------------
+
+    def bump_epoch(self) -> int:
+        """Advance the routing epoch (a migration cutover just moved
+        placement).  Absorbs any ring resize that happened since, so the
+        router epoch is always >= the ring's and strictly increases."""
+        self.epoch = max(self.epoch, self.ring.epoch) + 1
+        return self.epoch
+
+    def check_epoch(self, epoch: int | None) -> None:
+        """Reject a decision stamped with an out-of-date routing epoch.
+
+        Raises:
+            StaleEpochError: when ``epoch`` is older than the current
+                routing epoch (carries the fresh epoch for the retry).
+        """
+        if epoch is not None and epoch < max(self.epoch, self.ring.epoch):
+            self.stats["stale_epoch_rejected"] += 1
+            raise StaleEpochError(
+                f"routing epoch advanced to {self.epoch} (caller stamped {epoch}); "
+                "re-route and retry",
+                current_epoch=self.epoch,
+            )
 
     def home_of_tx(self, tx_id: str) -> str:
         """Shard holding ``tx_id``'s outputs (ring fallback for genesis
@@ -110,8 +146,20 @@ class ShardRouter:
                 return self.home_of_tx(fulfills["transaction_id"])
         return self.ring.shard_for(payload.get("id", ""))
 
-    def route(self, payload: dict[str, Any], shard_hint: str | None = None) -> RoutingDecision:
-        """Full routing decision: home shard + per-shard input refs."""
+    def route(
+        self,
+        payload: dict[str, Any],
+        shard_hint: str | None = None,
+        epoch: int | None = None,
+    ) -> RoutingDecision:
+        """Full routing decision: home shard + per-shard input refs.
+
+        ``epoch`` (when given) is the routing epoch the caller computed
+        any cached placement under; a stale stamp raises
+        :class:`~repro.common.errors.StaleEpochError` before any
+        decision is made.
+        """
+        self.check_epoch(epoch)
         home = self.home_for(payload, shard_hint)
         by_shard: dict[str, list[OutputRef]] = {}
         for item in payload.get("inputs") or []:

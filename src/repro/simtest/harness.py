@@ -27,6 +27,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+from repro.common.errors import MigrationError
 from repro.consensus.tendermint import tendermint_config
 from repro.core.cluster import ClusterConfig, SmartchainCluster
 from repro.durability.node import DurabilityConfig
@@ -71,6 +72,11 @@ class SimtestConfig:
     #: Per-step probability of an adversarial-client op (double submit /
     #: forged signature) instead of an honest one.
     adversarial_rate: float = 0.0
+    #: Per-step probability that an elastic-resharding event starts — a
+    #: live shard migration, sometimes with a crash trap armed on one of
+    #: its own protocol phases (source / target / controller role).  0
+    #: disables the family and replays pre-elastic plans byte-for-byte.
+    elastic_rate: float = 0.0
     #: Workload mix knobs (see TraceWorkload).
     transfer_rate: float = 0.35
     conflict_rate: float = 0.10
@@ -95,6 +101,7 @@ class SimtestConfig:
             "fault_rate": self.fault_rate,
             "byzantine_rate": self.byzantine_rate,
             "adversarial_rate": self.adversarial_rate,
+            "elastic_rate": self.elastic_rate,
             "transfer_rate": self.transfer_rate,
             "conflict_rate": self.conflict_rate,
             "cross_rate": self.cross_rate,
@@ -141,6 +148,8 @@ class ReproBundle:
             parts.append(f"--byzantine-rate {self.config['byzantine_rate']}")
         if self.config.get("adversarial_rate", 0.0) != defaults.adversarial_rate:
             parts.append(f"--adversarial-rate {self.config['adversarial_rate']}")
+        if self.config.get("elastic_rate", 0.0) != defaults.elastic_rate:
+            parts.append(f"--elastic-rate {self.config['elastic_rate']}")
         if not self.config.get("durable", True):
             parts.append("--volatile")
         return " ".join(parts)
@@ -215,7 +224,11 @@ class SimHarness:
             )
         self.plane = FaultPlane(cluster)
         self.schedule = ScheduleGenerator(
-            self.rng, self.plane, cfg.fault_rate, byzantine_rate=cfg.byzantine_rate
+            self.rng,
+            self.plane,
+            cfg.fault_rate,
+            byzantine_rate=cfg.byzantine_rate,
+            elastic_rate=cfg.elastic_rate,
         ).generate(cfg.steps)
         self.workload = TraceWorkload(
             self.plane,
@@ -233,9 +246,13 @@ class SimHarness:
         #: Like ``_armed_phase``, but the sprung fault is a full
         #: crash-restart-from-disk of the agent (not a plain crash).
         self._armed_restart_phase: str | None = None
+        #: Armed migrate_trap spec ("<phase>:<role>") — sprung by the
+        #: next live migration entering that phase.
+        self._armed_migrate: str | None = None
         self._trap_crashed: list[str] = []
         self._trap_log: list[str] = []
         self.plane.register_phase_listener(self._on_phase)
+        self.plane.register_migration_listener(self._on_migration_phase)
 
     # -- phase traps -------------------------------------------------------------
 
@@ -275,6 +292,35 @@ class SimHarness:
             0.0, lambda: self.plane.crash_coordinator(shard_id)
         )
 
+    def _on_migration_phase(self, migration_id: str, phase: str) -> None:
+        armed = self._armed_migrate
+        if armed is None:
+            return
+        trap_phase, _, role = armed.partition(":")
+        if trap_phase != phase:
+            return
+        migrator = self.plane.migrator
+        migration = migrator.migrations.get(migration_id) if migrator else None
+        if migration is None:
+            return
+        if role == "controller" and migrator.durability is None:
+            return
+        self._armed_migrate = None
+        torn = self.rng.randint("migrate-trap:torn", 0, 48)
+        self._trap_log.append(
+            f"migrate trap sprung t={self.plane.now:.6f} "
+            f"migration={migration_id} phase={phase} role={role} torn={torn}"
+        )
+        source, target = migration.source, migration.target
+        # Crash through the loop: the controller finishes journaling the
+        # phase it just entered, then the crashed party dies — for phase
+        # "cutover" that lands exactly between the forced commit-point
+        # record and its application.
+        self.plane.loop.schedule_in(
+            0.0,
+            lambda: self.plane.crash_migration_role(role, source, target, torn),
+        )
+
     # -- fault application --------------------------------------------------------
 
     def _apply(self, action: FaultAction) -> str:
@@ -293,11 +339,22 @@ class SimHarness:
             self._armed_phase = str(action.arg)
         elif kind == "restart_trap":
             self._armed_restart_phase = str(action.arg)
+        elif kind == "migrate_trap":
+            self._armed_migrate = str(action.arg)
+        elif kind == "migrate":
+            try:
+                migration_id = plane.start_migration(action.shard, str(action.arg))
+            except MigrationError as exc:
+                # A refused start (conflicting migration, crashed
+                # controller) is a scheduled no-op, not a failure.
+                return f"{action.describe()} (refused: {exc})"
+            return f"{action.describe()} id={migration_id}"
         elif kind == "crash_restart":
             plane.crash_restart(action.shard, action.node, int(action.arg or 0))
         elif kind == "trap_clear":
             self._armed_phase = None
             self._armed_restart_phase = None
+            self._armed_migrate = None
             for shard_id in self._trap_crashed:
                 if plane.coordinator_crashed(shard_id):
                     plane.recover_coordinator(shard_id)
@@ -353,6 +410,7 @@ class SimHarness:
         # system.  (quiesce itself recovers already-sprung crashes.)
         self._armed_phase = None
         self._armed_restart_phase = None
+        self._armed_migrate = None
         self._trap_crashed.clear()
         if not (report.violations and cfg.fail_fast):
             self.plane.quiesce()
@@ -373,6 +431,9 @@ class SimHarness:
             "invariants_registered": len(self.checker.applicable("step"))
             + len(self.checker.applicable("quiesce")),
         }
+        migrator = self.plane.migrator
+        if migrator is not None:
+            report.stats["reshard"] = dict(migrator.stats)
         if report.violations:
             first = report.violations[0]
             report.bundle = ReproBundle(

@@ -117,6 +117,28 @@ def _spent_refs(payload: dict[str, Any]):
             yield (fulfills["transaction_id"], fulfills["output_index"])
 
 
+def _migrator(plane: FaultPlane):
+    """The deployment's reshard controller, if elastic resharding is wired."""
+    return getattr(plane.cluster, "migrator", None)
+
+
+def _migrated_final_home(migrator) -> dict[tuple[str, int], str]:
+    """ref -> shard the migration journal says finally owns it.
+
+    Walks ``done`` migrations in id order — a ref can only join a second
+    migration after the first one's cutover re-homed it, and ids are
+    assigned at start time, so id order subsumes causal order and the
+    last writer is the final owner."""
+    home: dict[tuple[str, int], str] = {}
+    for doc in sorted(
+        migrator._journal.find({"phase": "done"}, copy=False),
+        key=lambda d: d["migration_id"],
+    ):
+        for row in doc.get("moved") or []:
+            home[(row[0], row[1])] = doc["target"]
+    return home
+
+
 # -- per-step invariants ----------------------------------------------------------
 
 
@@ -201,21 +223,46 @@ def conservation(plane: FaultPlane) -> list[str]:
 
 def replica_utxo_consistency(plane: FaultPlane) -> list[str]:
     """Each node's ``utxos`` view equals what replaying its own chain
-    (minus cross-shard committed tombstones) predicts."""
+    (adjusted for cross-shard committed tombstones and migrated keys)
+    predicts.
+
+    Migrations re-home outputs without committing anything on either
+    chain, so the chain-replay prediction is corrected from the 2PC
+    agent's durable ``shard_migrations`` registry: refs whose *latest*
+    row migrated them in seed the expected set (their creating
+    transaction lives on another shard's chain), refs whose latest row
+    migrated them out are subtracted (the chain minted them here, the
+    cutover deleted them).  Latest-row-wins handles round trips — a ref
+    that left and came back is in-shape again, not absent."""
     violations = []
     for shard_id in plane.shard_ids:
         shard = plane.shard_cluster(shard_id)
         tombstoned: set[tuple[str, int]] = set()
+        migrated_in: set[tuple[str, int]] = set()
+        migrated_out: set[tuple[str, int]] = set()
         agent = plane.agents.get(shard_id)
         if agent is not None:
             for lock in agent.durable.collection("shard_locks").find(
                 {"status": "committed"}, copy=False
             ):
                 tombstoned.add((lock["transaction_id"], lock["output_index"]))
+            latest: dict[tuple[str, int], tuple[int, str]] = {}
+            for row in agent.durable.collection("shard_migrations").find(
+                {}, copy=False
+            ):
+                ref = (row["transaction_id"], row["output_index"])
+                sequence = int(row["migration_id"].rsplit("-", 1)[1])
+                if ref not in latest or sequence > latest[ref][0]:
+                    latest[ref] = (sequence, row["direction"])
+            for ref, (_seq, direction) in latest.items():
+                if direction == "in":
+                    migrated_in.add(ref)
+                else:
+                    migrated_out.add(ref)
         for node_id in shard.engine.validator_order:
             server = shard.servers[node_id]
             transactions = server.database.collection("transactions")
-            expected: set[tuple[str, int]] = set()
+            expected: set[tuple[str, int]] = set(migrated_in)
             for block in server.database.collection("blocks").find({}, copy=False):
                 for tx_id in block["transaction_ids"]:
                     payload = transactions.find_one({"id": tx_id}, copy=False)
@@ -225,6 +272,7 @@ def replica_utxo_consistency(plane: FaultPlane) -> list[str]:
                         expected.add((tx_id, index))
                     for ref in _spent_refs(payload):
                         expected.discard(ref)
+            expected -= migrated_out
             expected -= tombstoned
             actual = {
                 (doc["transaction_id"], doc["output_index"])
@@ -521,6 +569,19 @@ def wal_prefix_durability(plane: FaultPlane) -> list[str]:
         )
         for problem in diff_databases(agent.durable, recovered.database):
             violations.append(f"{shard_id}/agent: {problem}")
+    migrator = _migrator(plane)
+    if migrator is not None and migrator.durability is not None:
+        if migrator.durability.log.pending:
+            violations.append(
+                "reshard-controller: journal records still unflushed at quiesce"
+            )
+        recovered = recover(
+            migrator.durability,
+            lambda: migrator._make_journal_database(journaled=False),
+            repair=False,
+        )
+        for problem in diff_databases(migrator.journal_db, recovered.database):
+            violations.append(f"reshard-controller: {problem}")
     return violations
 
 
@@ -568,6 +629,118 @@ def mv_consistency(plane: FaultPlane) -> list[str]:
     return violations
 
 
+# -- elastic-resharding invariants ------------------------------------------------
+
+
+def migration_terminal(plane: FaultPlane) -> list[str]:
+    """After repair + drain, every journaled migration reached a terminal
+    phase — ``done`` (cutover rolled forward) or ``rolled_back``
+    (presumed abort).  A migration parked anywhere else means recovery
+    lost track of it: its fences would block the moving keys forever."""
+    migrator = _migrator(plane)
+    if migrator is None:
+        return []
+    from repro.sharding.migration import TERMINAL_PHASES
+
+    violations = []
+    for doc in sorted(
+        migrator._journal.find({}, copy=False), key=lambda d: d["migration_id"]
+    ):
+        if doc["phase"] not in TERMINAL_PHASES:
+            violations.append(
+                f"migration {doc['migration_id']} ({doc['source']}->"
+                f"{doc['target']}) parked in phase={doc['phase']}"
+            )
+    return violations
+
+
+def no_key_lost(plane: FaultPlane) -> list[str]:
+    """Every output a ``done`` migration moved is either committed-spent
+    somewhere or present in its final owner's UTXO set.
+
+    The lost-key failure this catches: a cutover that deleted the source
+    copy but (crash, torn write, skipped repair) never materialized the
+    target copy — the owner would reject every spend of a live output."""
+    migrator = _migrator(plane)
+    if migrator is None:
+        return []
+    spent: set[tuple[str, int]] = set()
+    for _tx_id, (_shard, payload) in applied_transactions(plane).items():
+        spent.update(_spent_refs(payload))
+    violations = []
+    for (tx_id, index), owner in sorted(_migrated_final_home(migrator).items()):
+        if (tx_id, index) in spent or owner not in plane.shard_ids:
+            continue
+        server = _reference_server(plane.shard_cluster(owner))
+        doc = server.database.collection("utxos").find_one(
+            {"transaction_id": tx_id, "output_index": index}, copy=False
+        )
+        if doc is None:
+            violations.append(
+                f"migrated output {tx_id[:8]}:{index} lost — unspent but "
+                f"absent from final owner {owner}"
+            )
+    return violations
+
+
+def no_key_duplicated(plane: FaultPlane) -> list[str]:
+    """No migrated output is spendable on two shards, and nothing a
+    rolled-back migration staged survives on its target.
+
+    The double-spend enabler this catches: a cutover (or its repair)
+    that materialized the target copy without deleting the source copy —
+    both shards would accept a spend of the same output."""
+    migrator = _migrator(plane)
+    if migrator is None:
+        return []
+    violations = []
+    final_home = _migrated_final_home(migrator)
+    for (tx_id, index), owner in sorted(final_home.items()):
+        holders = []
+        for shard_id in plane.shard_ids:
+            server = _reference_server(plane.shard_cluster(shard_id))
+            present = server.database.collection("utxos").find_one(
+                {"transaction_id": tx_id, "output_index": index}, copy=False
+            )
+            if present is not None:
+                holders.append(shard_id)
+        if len(holders) > 1:
+            violations.append(
+                f"migrated output {tx_id[:8]}:{index} live on multiple "
+                "shards: " + ",".join(holders)
+            )
+        elif holders and holders[0] != owner:
+            violations.append(
+                f"migrated output {tx_id[:8]}:{index} lives on {holders[0]} "
+                f"but the migration journal homes it on {owner}"
+            )
+    # Presumed abort leaves no residue: a rolled-back migration never
+    # reached cutover, so none of its planned refs may have a UTXO
+    # document on its target (unless a *later* done migration moved the
+    # ref there legitimately).
+    for doc in sorted(
+        migrator._journal.find({"phase": "rolled_back"}, copy=False),
+        key=lambda d: d["migration_id"],
+    ):
+        target = doc["target"]
+        if target not in plane.shard_ids:
+            continue
+        server = _reference_server(plane.shard_cluster(target))
+        utxos = server.database.collection("utxos")
+        for row in doc.get("planned_refs") or []:
+            ref = (row[0], row[1])
+            if final_home.get(ref) == target:
+                continue
+            if utxos.find_one(
+                {"transaction_id": ref[0], "output_index": ref[1]}, copy=False
+            ) is not None:
+                violations.append(
+                    f"rolled-back migration {doc['migration_id']} left "
+                    f"{ref[0][:8]}:{ref[1]} behind on target {target}"
+                )
+    return violations
+
+
 def all_cross_settled(plane: FaultPlane) -> list[str]:
     """Every cross-shard submission has a final outcome at quiesce."""
     if not plane.sharded:
@@ -598,6 +771,12 @@ DEFAULT_INVARIANTS: list[Invariant] = [
     Invariant("no_stuck_locks", no_stuck_locks, scope="quiesce", sharded_only=True),
     Invariant("outbox_terminal", outbox_terminal, scope="quiesce", sharded_only=True),
     Invariant("all_cross_settled", all_cross_settled, scope="quiesce", sharded_only=True),
+    # Elastic-resharding family (ISSUE 9): every migration terminal at
+    # quiesce, and the journal's final-owner map matches the physical
+    # UTXO placement exactly — nothing lost, nothing duplicated.
+    Invariant("migration_terminal", migration_terminal, scope="quiesce", sharded_only=True),
+    Invariant("no_key_lost", no_key_lost, scope="quiesce", sharded_only=True),
+    Invariant("no_key_duplicated", no_key_duplicated, scope="quiesce", sharded_only=True),
     # Disk == memory for every durable node/agent (skips volatile runs).
     Invariant("wal_prefix_durability", wal_prefix_durability, scope="quiesce"),
     # Incremental views == from-scratch recomputation (skips volatile runs).

@@ -89,6 +89,53 @@ class FaultPlane:
         for agent in self.agents.values():
             agent.phase_listeners.append(listener)
 
+    # -- elastic resharding -------------------------------------------------------
+
+    @property
+    def migrator(self):
+        """The deployment's reshard controller (None for single clusters)."""
+        return getattr(self.cluster, "migrator", None)
+
+    def register_migration_listener(
+        self, listener: Callable[[str, str], None]
+    ) -> None:
+        """Observe migration protocol-phase transitions on the controller."""
+        migrator = self.migrator
+        if migrator is not None:
+            migrator.phase_listeners.append(listener)
+
+    def start_migration(self, source: str, target: str) -> str:
+        """Begin a live key migration between two existing shards.
+
+        Raises:
+            MigrationError: unknown shards, a conflicting active
+                migration, or a crashed controller — schedules treat a
+                refused start as a no-op fault.
+        """
+        migrator = self.migrator
+        if migrator is None:
+            raise ValueError("a single cluster has no reshard controller")
+        return migrator.start_migration(source, target)
+
+    def crash_migration_role(
+        self, role: str, source: str, target: str, torn_bytes: int = 0
+    ) -> None:
+        """Crash one party of a live migration, restoring it from disk.
+
+        ``source`` / ``target`` kill the shard's 2PC agent *and* its
+        first validator mid-protocol (the worst case: fences, registry
+        rows and shipped state must all survive the restart);
+        ``controller`` power-fails the reshard controller itself, whose
+        journal then decides roll-forward vs roll-back.
+        """
+        if role == "controller":
+            self.migrator.restart_from_disk(torn_bytes=torn_bytes)
+            return
+        shard_id = source if role == "source" else target
+        self.crash_restart_coordinator(shard_id, torn_bytes=torn_bytes)
+        node_id = self.nodes(shard_id)[0]
+        self.crash_restart(shard_id, node_id, torn_bytes=torn_bytes)
+
     # -- node faults ------------------------------------------------------------
 
     def crash_node(self, shard_id: str, node_id: str) -> None:
@@ -256,6 +303,9 @@ class FaultPlane:
                 self.recover_node(shard_id, node_id)
             if self.coordinator_crashed(shard_id):
                 self.recover_coordinator(shard_id)
+        migrator = self.migrator
+        if migrator is not None and migrator.crashed:
+            migrator.recover()
         # A heal is not a crash: nodes that merely lagged still need the
         # catch-up kick recovery would have given them.
         for shard_id in self.shard_ids:
@@ -267,9 +317,11 @@ class FaultPlane:
             unfinished = any(
                 agent.active_locks() or agent.unfinished()
                 for agent in self.agents.values()
-            )
+            ) or bool(migrator is not None and migrator.unfinished())
             if not unfinished:
                 break
             for agent in self.agents.values():
                 agent.resume()
+            if migrator is not None:
+                migrator.resume()
             self.loop.run_until_idle(max_events=max_events)

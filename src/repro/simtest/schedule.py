@@ -24,6 +24,7 @@ import json
 from dataclasses import dataclass
 
 from repro.common.encoding import canonical_serialize
+from repro.sharding.migration import MIGRATE_TRAP_PHASES, MIGRATE_TRAP_ROLES
 from repro.sim.rng import SeededRng
 from repro.simtest.plane import FaultPlane
 
@@ -70,6 +71,17 @@ BYZANTINE_KINDS = (
     "byz_stale",
     "byz_poison",
 )
+
+#: Elastic-resharding kinds (durable sharded deployments with a reshard
+#: controller, ≥2 shards): ``migrate`` starts a live key migration
+#: between two existing shards; ``migrate_trap`` arms a crash on the
+#: next migration reaching an exact protocol phase
+#: (``"<phase>:<role>"``, phases from
+#: :data:`~repro.sharding.migration.MIGRATE_TRAP_PHASES`, roles source /
+#: target / controller).  Drawn from their own gate (``elastic_rate``)
+#: and ``schedule:elastic-*`` streams, so enabling them leaves the
+#: crash-fault half of a seed's plan byte-identical.
+ELASTIC_KINDS = ("migrate", "migrate_trap")
 
 #: Schedule kind -> consensus-layer behavior kind.
 BYZANTINE_BEHAVIORS = {
@@ -188,6 +200,10 @@ class ScheduleGenerator:
         byzantine_rate: per-step probability that a validator turns
             byzantine (0 disables the family and reproduces pre-byzantine
             plans byte-for-byte).
+        elastic_rate: per-step probability that an elastic-resharding
+            event starts — a live shard migration, sometimes preceded by
+            an armed ``migrate_trap`` (0 disables the family and
+            reproduces pre-elastic plans byte-for-byte).
     """
 
     def __init__(
@@ -196,6 +212,7 @@ class ScheduleGenerator:
         plane: FaultPlane,
         fault_rate: float = 0.12,
         byzantine_rate: float = 0.0,
+        elastic_rate: float = 0.0,
     ):
         if not 0.0 <= fault_rate <= 1.0:
             raise ValueError(f"fault_rate must be in [0, 1], got {fault_rate}")
@@ -203,10 +220,13 @@ class ScheduleGenerator:
             raise ValueError(
                 f"byzantine_rate must be in [0, 1], got {byzantine_rate}"
             )
+        if not 0.0 <= elastic_rate <= 1.0:
+            raise ValueError(f"elastic_rate must be in [0, 1], got {elastic_rate}")
         self._rng = rng
         self._plane = plane
         self.fault_rate = fault_rate
         self.byzantine_rate = byzantine_rate
+        self.elastic_rate = elastic_rate
 
     def generate(self, steps: int) -> Schedule:
         """Produce a plan of ``steps`` steps with paired repairs."""
@@ -217,6 +237,14 @@ class ScheduleGenerator:
             kinds += list(DURABLE_KINDS)
             if plane.sharded:
                 kinds += list(DURABLE_SHARDED_KINDS)
+        #: Migrations need two distinct shards, a controller journal for
+        #: the controller-restart trap role, and agents for the fences.
+        elastic = (
+            self.elastic_rate > 0
+            and plane.sharded
+            and plane.durable
+            and len(plane.shard_ids) >= 2
+        )
         actions: list[FaultAction] = []
         #: step -> repairs that come due there (emitted in order).
         repairs: dict[int, list[FaultAction]] = {}
@@ -271,6 +299,41 @@ class ScheduleGenerator:
                         step + hold,
                         FaultAction(step + hold, "byz_heal", shard=shard, node=node),
                     )
+            if elastic and rng.uniform(
+                "schedule:elastic-gate", 0.0, 1.0
+            ) < self.elastic_rate:
+                source = rng.choice("schedule:elastic-source", plane.shard_ids)
+                target = rng.choice(
+                    "schedule:elastic-target",
+                    [s for s in plane.shard_ids if s != source],
+                )
+                # Half the migrations run with a trap armed on one of
+                # their own phases — arming shares the one-trap-at-a-time
+                # budget with the 2PC traps, so a shared trap_clear never
+                # cuts another window short.
+                if not trap_armed and rng.uniform(
+                    "schedule:elastic-trap", 0.0, 1.0
+                ) < 0.5:
+                    trap_armed = True
+                    phase = rng.choice(
+                        "schedule:elastic-phase", list(MIGRATE_TRAP_PHASES)
+                    )
+                    role = rng.choice(
+                        "schedule:elastic-role", list(MIGRATE_TRAP_ROLES)
+                    )
+                    trap_hold = rng.randint("schedule:elastic-hold", 8, 24)
+                    actions.append(
+                        FaultAction(step, "migrate_trap", arg=f"{phase}:{role}")
+                    )
+                    repair_at(
+                        step + trap_hold,
+                        FaultAction(step + trap_hold, "trap_clear"),
+                    )
+                # The trap (if any) arms in the same step, *before* the
+                # migration starts, so even the first phase can spring it.
+                actions.append(
+                    FaultAction(step, "migrate", shard=source, arg=target)
+                )
             if rng.uniform("schedule:gate", 0.0, 1.0) >= self.fault_rate:
                 continue
             kind = rng.choice("schedule:kind", kinds)
@@ -363,6 +426,31 @@ class ScheduleGenerator:
                 clear_step = min(at_step + 12, steps - 1)
                 actions.append(FaultAction(at_step, "restart_trap", arg="prepared"))
                 actions.append(FaultAction(clear_step, "trap_clear"))
+        # Elastic plans: every schedule crashes at least one migration on
+        # an exact protocol phase — the migrate_trap analogue of the
+        # guaranteed restart_trap above, so no elastic seed ships without
+        # covering the crash-during-migration recovery path.
+        if elastic and steps >= 8 and not any(
+            action.kind == "migrate_trap" for action in actions
+        ):
+            window = (steps // 4, max(steps // 4 + 1, (3 * steps) // 4))
+            at_step = rng.randint("schedule:elastic-trap-step", *window)
+            last_clear = max(
+                (action.step for action in actions if action.kind == "trap_clear"),
+                default=-1,
+            )
+            at_step = min(max(at_step, last_clear + 1), steps - 2)
+            clear_step = min(at_step + 16, steps - 1)
+            phase = rng.choice("schedule:elastic-phase", list(MIGRATE_TRAP_PHASES))
+            role = rng.choice("schedule:elastic-role", list(MIGRATE_TRAP_ROLES))
+            source = rng.choice("schedule:elastic-source", plane.shard_ids)
+            target = rng.choice(
+                "schedule:elastic-target",
+                [s for s in plane.shard_ids if s != source],
+            )
+            actions.append(FaultAction(at_step, "migrate_trap", arg=f"{phase}:{role}"))
+            actions.append(FaultAction(at_step, "migrate", shard=source, arg=target))
+            actions.append(FaultAction(clear_step, "trap_clear"))
         # Unemitted repairs past the horizon: quiesce repairs everything,
         # but keep the plan self-contained for replay tooling.
         for step in sorted(repairs):

@@ -32,6 +32,15 @@ SMARTCHAINDB_LAYOUT: dict[str, list[tuple[str, bool]]] = {
     # spends of local UTXOs) and the coordinator's write-ahead outbox.
     "shard_locks": [("transaction_id", False), ("holder", False), ("status", False)],
     "shard_outbox": [("tx_id", True), ("state", False)],
+    # Elastic resharding: per-shard durable registry of outputs whose
+    # ownership moved in (target side) or out (source side) of this
+    # shard by a migration cutover — the replica-consistency invariant
+    # and crash recovery both read it.
+    "shard_migrations": [
+        ("migration_id", False),
+        ("transaction_id", False),
+        ("direction", False),
+    ],
 }
 
 

@@ -56,6 +56,12 @@ class ViewManager:
         self._txs: dict[str, dict[str, Any]] = {}
         #: tx_id -> shard key that committed it (for per-shard serving).
         self._tx_shard: dict[str, str] = {}
+        #: tx_id -> shard key a migration cutover re-homed it to.  Kept
+        #: apart from ``_tx_shard`` (and from the consistency snapshot):
+        #: a transaction's outputs can change owner shard long after its
+        #: committing feed record was applied, and may even re-attribute
+        #: *before* that record arrives — the override wins either way.
+        self._shard_overrides: dict[str, str] = {}
         #: operation -> tx ids in application order.
         self._by_operation: dict[str, list[str]] = {}
         self._op_counts: dict[str, int] = {}
@@ -231,7 +237,7 @@ class ViewManager:
         requests = (self._txs[request_id] for request_id in ids)
         if shard is None:
             return list(requests)
-        return [r for r in requests if self._tx_shard.get(r["id"]) == shard]
+        return [r for r in requests if self._shard_of(r["id"]) == shard]
 
     def outputs_for(
         self, public_key: str, shard: str | None = None
@@ -243,8 +249,30 @@ class ViewManager:
         return [
             self._utxos[ref]
             for ref in refs
-            if self._tx_shard.get(ref[0]) == shard
+            if self._shard_of(ref[0]) == shard
         ]
+
+    def _shard_of(self, tx_id: str) -> str | None:
+        """Serving shard of a transaction's outputs: migration override
+        first, committing shard otherwise."""
+        override = self._shard_overrides.get(tx_id)
+        if override is not None:
+            return override
+        return self._tx_shard.get(tx_id)
+
+    def note_migration(self, tx_ids: list[str], shard: str) -> None:
+        """Re-attribute moved transactions to their new owner shard.
+
+        Called at every migration cutover (and by its idempotent repair
+        passes): the per-shard serving feeds re-bootstrap so reads for
+        the moved range resolve against the new owner immediately, even
+        for feed records still in flight.  The override map is not part
+        of the consistency snapshot — ``mv_consistency`` compares the
+        committed stream's deterministic state, and ownership moves are
+        a routing overlay on top of it.
+        """
+        for tx_id in tx_ids:
+            self._shard_overrides[tx_id] = shard
 
     def transaction(self, tx_id: str) -> dict[str, Any] | None:
         return self._txs.get(tx_id)

@@ -80,3 +80,109 @@ class TestDegenerateVnodeCount:
     def test_single_shard_single_vnode_owns_everything(self):
         ring = ConsistentHashRing(["solo"], virtual_nodes=1)
         assert all(ring.shard_for(key) == "solo" for key in _keys(64))
+
+
+class TestResizeMovementProperties:
+    """Elastic-resharding contract: a resize may only move the ranges
+    the membership change itself implies — grown shards steal, removed
+    shards donate, everything else stays put."""
+
+    def test_add_shard_only_moves_keys_onto_the_new_member(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        before = ring.assignment(_keys(1000))
+        ring.add_shard("d")
+        after = ring.assignment(_keys(1000))
+        for key, owner in before.items():
+            assert after[key] in (owner, "d"), key
+
+    def test_remove_shard_only_moves_the_departed_keys(self):
+        ring = ConsistentHashRing(["a", "b", "c", "d"])
+        before = ring.assignment(_keys(1000))
+        ring.remove_shard("d")
+        after = ring.assignment(_keys(1000))
+        for key, owner in before.items():
+            if owner != "d":
+                assert after[key] == owner, key
+            else:
+                assert after[key] != "d"
+
+    def test_add_then_remove_round_trips_placement(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        before = ring.assignment(_keys(600))
+        ring.add_shard("d")
+        ring.remove_shard("d")
+        assert ring.assignment(_keys(600)) == before
+
+    def test_growth_steals_a_bounded_fraction(self):
+        # Growing n -> n+1 should claim roughly 1/(n+1) of the keyspace,
+        # not reshuffle it wholesale.
+        ring = ConsistentHashRing(["a", "b", "c"])
+        before = ring.assignment(_keys(2000))
+        ring.add_shard("d")
+        after = ring.assignment(_keys(2000))
+        moved = sum(1 for key in before if after[key] != before[key])
+        assert moved / len(before) < 0.5
+
+    def test_every_resize_bumps_the_epoch(self):
+        ring = ConsistentHashRing(["a", "b"])
+        seen = [ring.epoch]
+        ring.add_shard("c")
+        seen.append(ring.epoch)
+        ring.remove_shard("a")
+        seen.append(ring.epoch)
+        assert seen == sorted(set(seen)), "epochs must strictly increase"
+
+
+class TestEpochStampedLookups:
+    """A caller holding a pre-resize routing decision must be refused,
+    never handed a retired owner (or a silently recomputed one)."""
+
+    def test_stale_epoch_is_refused_after_add(self):
+        from repro.common.errors import StaleEpochError
+
+        ring = ConsistentHashRing(["a", "b"])
+        stamped = ring.epoch
+        ring.add_shard("c")
+        with pytest.raises(StaleEpochError):
+            ring.shard_for_at("some-key", stamped)
+
+    def test_stale_epoch_is_refused_after_remove(self):
+        from repro.common.errors import StaleEpochError
+
+        ring = ConsistentHashRing(["a", "b", "c"])
+        stamped = ring.epoch
+        ring.remove_shard("c")
+        with pytest.raises(StaleEpochError):
+            ring.shard_for_at("some-key", stamped)
+
+    def test_stale_error_carries_the_fresh_epoch_for_retry(self):
+        from repro.common.errors import StaleEpochError
+
+        ring = ConsistentHashRing(["a", "b"])
+        stamped = ring.epoch
+        ring.add_shard("c")
+        ring.remove_shard("a")
+        try:
+            ring.shard_for_at("some-key", stamped)
+        except StaleEpochError as error:
+            assert error.current_epoch == ring.epoch
+        else:
+            raise AssertionError("stale lookup was not refused")
+
+    def test_current_epoch_lookup_never_returns_a_retired_owner(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        ring.remove_shard("b")
+        for key in _keys(300):
+            assert ring.shard_for_at(key, ring.epoch) != "b"
+
+    def test_refresh_after_refusal_converges(self):
+        from repro.common.errors import StaleEpochError
+
+        ring = ConsistentHashRing(["a", "b"])
+        stamped = ring.epoch
+        ring.add_shard("c")
+        try:
+            ring.shard_for_at("k", stamped)
+        except StaleEpochError as error:
+            stamped = error.current_epoch
+        assert ring.shard_for_at("k", stamped) == ring.shard_for("k")

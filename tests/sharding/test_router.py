@@ -130,4 +130,9 @@ class TestStats:
             .to_dict()
         )
         router.route(transfer)
-        assert router.stats == {"routed": 2, "single_shard": 1, "cross_shard": 1}
+        assert router.stats == {
+            "routed": 2,
+            "single_shard": 1,
+            "cross_shard": 1,
+            "stale_epoch_rejected": 0,
+        }

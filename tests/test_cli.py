@@ -12,7 +12,9 @@ class TestParser:
 
     def test_known_commands(self):
         parser = build_parser()
-        for command in ("info", "demo", "compare", "workload", "shard", "simtest"):
+        for command in (
+            "info", "demo", "compare", "workload", "shard", "simtest", "reshard"
+        ):
             args = parser.parse_args([command])
             assert callable(args.func)
 
@@ -44,3 +46,10 @@ class TestCommands:
         assert (tmp_path / "SIMTEST_schedule.json").exists()
         assert (tmp_path / "SIMTEST_invariants.log").exists()
         assert not (tmp_path / "SIMTEST_repro.json").exists()
+
+    def test_reshard(self, capsys):
+        assert main(["reshard"]) == 0
+        out = capsys.readouterr().out
+        assert "policy tripped" in out
+        assert "rolls FORWARD" in out
+        assert "all 18 invariants held" in out
